@@ -1,0 +1,729 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Smith & Thornton, ISCA 2019) and times the synthesis
+   procedures with Bechamel.
+
+   Usage:  main.exe [section ...]
+   Sections: table1 table2 table3 table4 table5 table6 table7 table8
+             fig1 fig2 fig3 fig5 fig6 fig7 verify ablations workloads timing
+   With no argument every section runs in paper order. *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let fmt_cost c = Printf.sprintf "%g" c
+
+let metrics circuit cost_fn =
+  let s = Circuit.stats circuit in
+  Printf.sprintf "%d/%d/%s" s.Circuit.t_count s.Circuit.gate_volume
+    (fmt_cost (Cost.evaluate cost_fn circuit))
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: operator transfer matrices                                  *)
+
+let table1 () =
+  section "Table 1: Common Single- and Multi-Qubit Quantum Operators";
+  let show name g =
+    Printf.printf "%s:\n%s\n" name
+      (Mathkit.Matrix.to_string (Gate.base_matrix g))
+  in
+  show "Pauli-X (NOT)" (Gate.X 0);
+  show "Pauli-Y" (Gate.Y 0);
+  show "Pauli-Z" (Gate.Z 0);
+  show "Hadamard" (Gate.H 0);
+  show "Phase (S)" (Gate.S 0);
+  show "pi/8 (T)" (Gate.T 0);
+  show "CNOT" (Gate.Cnot { control = 0; target = 1 });
+  show "CZ" (Gate.Cz (0, 1));
+  show "SWAP" (Gate.Swap (0, 1));
+  show "Toffoli" (Gate.Toffoli { c1 = 0; c2 = 1; target = 2 })
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: IBM Q device details                                        *)
+
+let table2 () =
+  section "Table 2: IBM Q Device Details (coupling complexity)";
+  let release = function
+    | "ibmqx2" -> "Jan. 2017"
+    | "ibmqx3" -> "June 2017"
+    | "ibmqx4" -> "Sept. 2017"
+    | "ibmqx5" -> "Sept. 2017"
+    | "ibmq_16" -> "Sept. 2018"
+    | _ -> "-"
+  in
+  let paper_value = function
+    | "ibmqx2" -> "0.3"
+    | "ibmqx3" -> "0.0833..."
+    | "ibmqx4" -> "0.3"
+    | "ibmqx5" -> "0.09166..."
+    | "ibmq_16" -> "0.098901..."
+    | _ -> "-"
+  in
+  let rows =
+    List.map
+      (fun d ->
+        [
+          Device.name d;
+          release (Device.name d);
+          string_of_int (Device.n_qubits d);
+          Printf.sprintf "%.6f" (Device.coupling_complexity d);
+          paper_value (Device.name d);
+        ])
+      Device.Ibm.all
+  in
+  print_string
+    (Benchsuite.Tabulate.render ~title:""
+       ~header:[ "Name"; "Release"; "Qubits"; "Coupling complexity"; "Paper" ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1: QMDD of the CNOT                                             *)
+
+let fig1 () =
+  section "Fig. 1: QMDD representation of the CNOT operation";
+  let m = Qmdd.create ~n:2 in
+  let e = Qmdd.gate m (Gate.Cnot { control = 0; target = 1 }) in
+  print_string (Qmdd.to_ascii m e);
+  Printf.printf "nodes (terminal included): %d\n" (Qmdd.node_count e);
+  Printf.printf "\nGraphviz form:\n%s" (Qmdd.to_dot m e)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2: tool architecture                                            *)
+
+let fig2 () =
+  section "Fig. 2: Synthesis and Compilation Tool Architecture";
+  print_string
+    "  source code (.pla | .qasm | .qc | .real)\n\
+    \        |\n\
+    \        |  front-end: ESOP -> NOT/CNOT/Toffoli/T_n cascade   [Esop, Cascade]\n\
+    \        v\n\
+    \  technology-independent circuit                             [Circuit]\n\
+    \        |  technology-independent optimization               [Optimize]\n\
+    \        |  T_n -> Toffoli (Barenco)                          [Decompose]\n\
+    \        |  Toffoli/CZ/SWAP -> 1q + CNOT library              [Decompose]\n\
+    \        |  (optional) initial qubit placement                [Place]\n\
+    \        |  CNOT reversal + CTR rerouting                     [Route]\n\
+    \        |  cost-driven mapped-circuit optimization           [Optimize, Cost]\n\
+    \        |  QMDD formal equivalence check                     [Qmdd]\n\
+    \        v\n\
+    \  technology-dependent OpenQASM                              [Qasm]\n";
+  (* The pipeline is not just a picture: compile one input through it
+     and show the stages' gate counts. *)
+  let pla = Qformats.Pla.of_string ".i 2\n.o 1\n11 1\n.e\n" in
+  let r =
+    Compiler.compile
+      (Compiler.default_options ~device:Device.Ibm.ibmqx4)
+      (Compiler.Classical pla)
+  in
+  Printf.printf
+    "\nlive trace (AND function -> ibmqx4): cascade %d gates -> mapped %d -> optimized %d, %s\n"
+    (Circuit.gate_count r.Compiler.reference)
+    (Circuit.gate_count r.Compiler.unoptimized)
+    (Circuit.gate_count r.Compiler.optimized)
+    (Compiler.verification_to_string r.Compiler.verification)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: SWAP from three CNOTs                                        *)
+
+let fig3 () =
+  section "Fig. 3: Implementation of SWAP using CNOT";
+  let swap = Circuit.make ~n:2 [ Gate.Swap (0, 1) ] in
+  let cnots = Circuit.make ~n:2 (Decompose.swap_as_cnots 0 1) in
+  List.iter (fun g -> Printf.printf "  %s\n" (Gate.to_string g)) (Circuit.gates cnots);
+  Printf.printf "QMDD-equivalent to SWAP: %b\n"
+    (Qmdd.equivalent ~up_to_phase:false swap cnots);
+  let one_way =
+    Circuit.make ~n:2
+      (Decompose.swap_as_cnots
+         ~allows:(fun ~control ~target -> control = 0 && target = 1)
+         0 1)
+  in
+  Printf.printf
+    "with a unidirectional coupling the SWAP costs %d gates (max 7, Sec. 4)\n"
+    (Circuit.gate_count one_way)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: CTR on ibmqx3, control q5, target q10                        *)
+
+let fig5 () =
+  section "Fig. 5: CTR on ibmqx3 for CNOT(control=q5, target=q10)";
+  let d = Device.Ibm.ibmqx3 in
+  let path = Route.ctr_path d ~control:5 ~target:10 in
+  Printf.printf "SWAP path of the control: %s  (paper: q5 -> q12 -> q11)\n"
+    (String.concat " -> " (List.map (Printf.sprintf "q%d") path));
+  let gates = Route.route_cnot_swaps d ~control:5 ~target:10 in
+  List.iter (fun g -> Printf.printf "  %s\n" (Gate.to_string g)) gates;
+  let expanded = Circuit.make ~n:16 (Route.route_cnot d ~control:5 ~target:10) in
+  Printf.printf "expanded to the native library: %d gates, legal on ibmqx3: %b\n"
+    (Circuit.gate_count expanded)
+    (Route.legal_on d expanded);
+  Printf.printf "QMDD-equivalent to the bare CNOT: %b\n"
+    (Qmdd.equivalent ~up_to_phase:false
+       (Circuit.make ~n:16 [ Gate.Cnot { control = 5; target = 10 } ])
+       expanded)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: CNOT orientation reversal                                    *)
+
+let fig6 () =
+  section "Fig. 6: CNOT orientation reversal";
+  let original = Circuit.make ~n:2 [ Gate.Cnot { control = 0; target = 1 } ] in
+  let reversed = Circuit.make ~n:2 (Decompose.cnot_reverse ~control:0 ~target:1) in
+  List.iter (fun g -> Printf.printf "  %s\n" (Gate.to_string g)) (Circuit.gates reversed);
+  Printf.printf "QMDD-equivalent to CNOT(q0,q1): %b\n"
+    (Qmdd.equivalent ~up_to_phase:false original reversed)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: the proposed 96-qubit machine                                *)
+
+let fig7 () =
+  section "Fig. 7: Proposed 96-qubit machine (ibmqx5-inspired grid)";
+  let d = Device.Ibm.big96 in
+  Printf.printf "qubits: %d, directed couplings: %d, coupling complexity: %.6f\n"
+    (Device.n_qubits d)
+    (List.length (Device.couplings d))
+    (Device.coupling_complexity d);
+  Printf.printf "connected: %b\n" (Device.is_connected d);
+  Printf.printf "coupling map (paper dictionary notation):\n%s\n"
+    (Device.to_dict_string d)
+
+(* ------------------------------------------------------------------ *)
+(* Tables 3 and 4: single-target gates on the IBM devices               *)
+
+type mapping_outcome =
+  | Mapped of Compiler.report
+  | Not_applicable of string
+
+let compile_outcome device circuit =
+  match
+    Compiler.compile (Compiler.default_options ~device) (Compiler.Quantum circuit)
+  with
+  | r -> Mapped r
+  | exception Compiler.Compile_error msg -> Not_applicable msg
+
+let t3_devices () =
+  [
+    Device.Ibm.ibmqx2;
+    Device.Ibm.ibmqx3;
+    Device.Ibm.ibmqx4;
+    Device.Ibm.ibmqx5;
+    Device.Ibm.ibmq_16;
+  ]
+
+let run_table3 () =
+  List.map
+    (fun b ->
+      let circuit = Benchsuite.Single_target.circuit b in
+      let outcomes =
+        List.map (fun d -> (Device.name d, compile_outcome d circuit)) (t3_devices ())
+      in
+      (b, circuit, outcomes))
+    Benchsuite.Single_target.all
+
+let mapping_header =
+  [ "Ftn"; "Qubits"; "Tech.Ind. (T/gates/cost)" ]
+  @ List.concat_map
+      (fun d -> [ Device.name d ^ " unopt"; Device.name d ^ " opt" ])
+      (t3_devices ())
+
+let outcome_cells cost_fn = function
+  | Not_applicable _ -> [ "N/A"; "N/A" ]
+  | Mapped r ->
+    [
+      metrics r.Compiler.unoptimized cost_fn; metrics r.Compiler.optimized cost_fn;
+    ]
+
+let table3 results =
+  section
+    "Table 3: Compilation of the Single-target Gate benchmarks [23] on IBM devices";
+  Printf.printf
+    "(unoptimized mapping T-count/gates/cost vs optimized mapping; N/A = does not fit)\n";
+  let rows =
+    List.map
+      (fun (b, circuit, outcomes) ->
+        [
+          "#" ^ b.Benchsuite.Single_target.name;
+          string_of_int (Circuit.n_qubits circuit);
+          metrics circuit Cost.eqn2;
+        ]
+        @ List.concat_map (fun (_, o) -> outcome_cells Cost.eqn2 o) outcomes)
+      results
+  in
+  print_string (Benchsuite.Tabulate.render ~title:"" ~header:mapping_header rows)
+
+let percent_rows results =
+  let device_names = List.map Device.name (t3_devices ()) in
+  let rows =
+    List.map
+      (fun (label, outcomes) ->
+        label
+        :: List.map
+             (fun (_, o) ->
+               match o with
+               | Not_applicable _ -> "N/A"
+               | Mapped r -> Printf.sprintf "%.2f" r.Compiler.percent_decrease)
+             outcomes)
+      results
+  in
+  let averages =
+    List.mapi
+      (fun i _ ->
+        let values =
+          List.filter_map
+            (fun (_, outcomes) ->
+              match snd (List.nth outcomes i) with
+              | Mapped r -> Some r.Compiler.percent_decrease
+              | Not_applicable _ -> None)
+            results
+        in
+        if values = [] then "N/A"
+        else
+          Printf.sprintf "%.2f"
+            (List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)))
+      device_names
+  in
+  (rows @ [ "Average" :: averages ], "Funct." :: device_names)
+
+let table4 results =
+  section "Table 4: Percent decrease of benchmark [23] cost after optimization";
+  let rows, header =
+    percent_rows
+      (List.map
+         (fun (b, _, outcomes) ->
+           ("#" ^ b.Benchsuite.Single_target.name, outcomes))
+         results)
+  in
+  print_string (Benchsuite.Tabulate.render ~title:"" ~header rows)
+
+(* ------------------------------------------------------------------ *)
+(* Tables 5 and 6: RevLib Toffoli cascades                              *)
+
+let run_table5 () =
+  List.map
+    (fun b ->
+      let circuit = Benchsuite.Revlib_cascades.circuit b in
+      let outcomes =
+        List.map (fun d -> (Device.name d, compile_outcome d circuit)) (t3_devices ())
+      in
+      (b, circuit, outcomes))
+    Benchsuite.Revlib_cascades.all
+
+let table5 results =
+  section "Table 5: Compilation of the Toffoli-cascade benchmarks [24] on IBM devices";
+  let header =
+    [ "Ftn"; "Qubits"; "Largest"; "Gates" ]
+    @ List.concat_map
+        (fun d -> [ Device.name d ^ " unopt"; Device.name d ^ " opt" ])
+        (t3_devices ())
+  in
+  let rows =
+    List.map
+      (fun (b, circuit, outcomes) ->
+        [
+          b.Benchsuite.Revlib_cascades.name;
+          string_of_int (Circuit.n_qubits circuit);
+          b.Benchsuite.Revlib_cascades.largest_gate;
+          string_of_int (Circuit.gate_count circuit);
+        ]
+        @ List.concat_map (fun (_, o) -> outcome_cells Cost.eqn2 o) outcomes)
+      results
+  in
+  print_string (Benchsuite.Tabulate.render ~title:"" ~header rows)
+
+let table6 results =
+  section "Table 6: Percent decrease of benchmark [24] cost after optimization";
+  let rows, header =
+    percent_rows
+      (List.map
+         (fun (b, _, outcomes) ->
+           (b.Benchsuite.Revlib_cascades.name, outcomes))
+         results)
+  in
+  print_string (Benchsuite.Tabulate.render ~title:"" ~header rows)
+
+(* ------------------------------------------------------------------ *)
+(* Tables 7 and 8: the 96-qubit experiment                              *)
+
+let table7 () =
+  section "Table 7: 96-qubit QC benchmark details";
+  let rows =
+    List.concat_map
+      (fun b ->
+        List.mapi
+          (fun i (controls, target) ->
+            [
+              (if i = 0 then b.Benchsuite.Big_cascades.name else "");
+              Printf.sprintf "%d: T%d" (i + 1)
+                (b.Benchsuite.Big_cascades.n_controls + 1);
+              String.concat ", " (List.map (Printf.sprintf "q%d") controls);
+              Printf.sprintf "q%d" target;
+            ])
+          b.Benchsuite.Big_cascades.gates)
+      Benchsuite.Big_cascades.all
+  in
+  print_string
+    (Benchsuite.Tabulate.render ~title:""
+       ~header:[ "Name"; "Gates"; "Controls"; "Target" ]
+       rows)
+
+let table8 ~verify () =
+  section "Table 8: 96-qubit QC benchmark compilation results";
+  if not verify then
+    Printf.printf "(running without QMDD verification; pass 'table8' alone for it)\n";
+  let rows =
+    List.map
+      (fun b ->
+        let circuit = Benchsuite.Big_cascades.circuit b in
+        let opts =
+          let base = Compiler.default_options ~device:Device.Ibm.big96 in
+          if verify then base
+          else { base with Compiler.verification = Compiler.Skip }
+        in
+        let r = Compiler.compile opts (Compiler.Quantum circuit) in
+        Printf.printf "  %s: synthesis %.2fs, verification %s (%.1fs)\n%!"
+          b.Benchsuite.Big_cascades.name r.Compiler.elapsed_seconds
+          (Compiler.verification_to_string r.Compiler.verification)
+          r.Compiler.verification_seconds;
+        ( b.Benchsuite.Big_cascades.name,
+          metrics r.Compiler.unoptimized Cost.eqn2,
+          metrics r.Compiler.optimized Cost.eqn2,
+          r.Compiler.percent_decrease ))
+      Benchsuite.Big_cascades.all
+  in
+  let average =
+    List.fold_left (fun acc (_, _, _, p) -> acc +. p) 0.0 rows
+    /. float_of_int (List.length rows)
+  in
+  let table_rows =
+    List.map
+      (fun (name, unopt, opt, pct) ->
+        [ name; unopt; opt; Printf.sprintf "%.2f" pct ])
+      rows
+    @ [ [ "Average"; ""; ""; Printf.sprintf "%.2f" average ] ]
+  in
+  print_string
+    (Benchsuite.Tabulate.render ~title:""
+       ~header:
+         [
+           "Name";
+           "Unoptimized (T/gates/cost)";
+           "Optimized (T/gates/cost)";
+           "Percent cost decrease";
+         ]
+       table_rows)
+
+(* ------------------------------------------------------------------ *)
+(* Verification section: the paper's claim that every output is
+   QMDD-checked                                                         *)
+
+let verify_section results3 results5 =
+  section "Verification: QMDD equivalence status of every compiled output";
+  let count = ref 0 and verified = ref 0 in
+  let scan label outcomes =
+    List.iter
+      (fun (dev, o) ->
+        match o with
+        | Not_applicable _ -> ()
+        | Mapped r ->
+          incr count;
+          (match r.Compiler.verification with
+          | Compiler.Verified | Compiler.Verified_staged -> incr verified
+          | Compiler.Mismatch -> Printf.printf "  MISMATCH: %s on %s\n" label dev
+          | Compiler.Budget_exceeded ->
+            Printf.printf "  budget exceeded: %s on %s\n" label dev
+          | Compiler.Skipped -> Printf.printf "  skipped: %s on %s\n" label dev))
+      outcomes
+  in
+  List.iter
+    (fun (b, _, outcomes) -> scan ("#" ^ b.Benchsuite.Single_target.name) outcomes)
+    results3;
+  List.iter
+    (fun (b, _, outcomes) -> scan b.Benchsuite.Revlib_cascades.name outcomes)
+    results5;
+  Printf.printf "verified %d / %d compiled outputs\n" !verified !count
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out                    *)
+
+let ablations () =
+  section "Ablations: design-choice studies (not in the paper's tables)";
+  let benchmarks =
+    [
+      ("#0117 -> ibmqx5", Benchsuite.Single_target.circuit
+         (Benchsuite.Single_target.find "0117"), Device.Ibm.ibmqx5);
+      ("4gt13-v1_93 -> ibmq_16", Benchsuite.Revlib_cascades.circuit
+         (Benchsuite.Revlib_cascades.find "4gt13-v1_93"), Device.Ibm.ibmq_16);
+      ("T6_b -> big96", Benchsuite.Big_cascades.circuit
+         (Benchsuite.Big_cascades.find "T6_b"), Device.Ibm.big96);
+    ]
+  in
+  let compile_with tweak (_, circuit, device) =
+    let base =
+      { (Compiler.default_options ~device) with Compiler.verification = Compiler.Skip }
+    in
+    let r = Compiler.compile (tweak base) (Compiler.Quantum circuit) in
+    r.Compiler.optimized_cost
+  in
+
+  Printf.printf "\n-- A. router: CTR (paper) vs layout-tracking baseline --\n";
+  Printf.printf "%-24s %14s %14s\n" "benchmark" "CTR" "tracking";
+  List.iter
+    (fun b ->
+      let (name, _, _) = b in
+      let ctr = compile_with (fun o -> o) b in
+      let tracking =
+        compile_with (fun o -> { o with Compiler.router = Compiler.Tracking }) b
+      in
+      Printf.printf "%-24s %14.1f %14.1f\n%!" name ctr tracking)
+    benchmarks;
+
+  Printf.printf "\n-- B. initial placement (the paper's future work) off vs on --\n";
+  Printf.printf "%-24s %14s %14s\n" "benchmark" "identity" "placed";
+  List.iter
+    (fun b ->
+      let (name, _, _) = b in
+      let off = compile_with (fun o -> o) b in
+      let on =
+        compile_with (fun o -> { o with Compiler.use_placement = true }) b
+      in
+      Printf.printf "%-24s %14.1f %14.1f\n%!" name off on)
+    benchmarks;
+
+  Printf.printf
+    "\n-- C. optimization stages (cost of the mapped output) --\n";
+  Printf.printf "%-24s %10s %10s %10s\n" "benchmark" "none" "post" "pre+post";
+  List.iter
+    (fun b ->
+      let (name, _, _) = b in
+      let none =
+        compile_with
+          (fun o ->
+            { o with Compiler.pre_optimize = false; Compiler.post_optimize = false })
+          b
+      in
+      let post =
+        compile_with (fun o -> { o with Compiler.pre_optimize = false }) b
+      in
+      let both = compile_with (fun o -> o) b in
+      Printf.printf "%-24s %10.1f %10.1f %10.1f\n%!" name none post both)
+    benchmarks;
+
+  Printf.printf
+    "\n-- D. estimated success probability (synthetic calibration, Sec. 2.2) --\n";
+  Printf.printf "%-24s %14s %14s %14s %14s\n" "benchmark" "CTR" "weighted CTR"
+    "tracking" "CTR+placement";
+  List.iter
+    (fun (name, circuit, device) ->
+      let cal = Calibration.synthetic device in
+      let success tweak =
+        let base =
+          { (Compiler.default_options ~device) with Compiler.verification = Compiler.Skip }
+        in
+        let r = Compiler.compile (tweak base) (Compiler.Quantum circuit) in
+        Calibration.success_probability cal r.Compiler.optimized
+      in
+      let base = success (fun o -> o) in
+      let weighted =
+        success (fun o ->
+            {
+              o with
+              Compiler.router = Compiler.Weighted_ctr (Calibration.swap_hop_weight cal);
+            })
+      in
+      let tracking =
+        success (fun o -> { o with Compiler.router = Compiler.Tracking })
+      in
+      let placed =
+        success (fun o -> { o with Compiler.use_placement = true })
+      in
+      Printf.printf "%-24s %14.4g %14.4g %14.4g %14.4g\n%!" name base weighted
+        tracking placed)
+    benchmarks;
+  Printf.printf
+    "\n(Fewer rerouted CNOTs translate directly into higher run-through\n\
+     probability; the log-fidelity cost function is available as\n\
+     Calibration.log_fidelity_cost for optimization against a specific\n\
+     calibration.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Beyond-paper workloads: classic algorithm circuits                   *)
+
+let workloads () =
+  section "Workloads: classic algorithm circuits through the full pipeline";
+  let cases =
+    [
+      ("GHZ-8", Benchsuite.Classics.ghz 8);
+      ("QFT-4", Benchsuite.Classics.qft 4);
+      ("BV-6 (secret 0b101101)", Benchsuite.Classics.bernstein_vazirani ~secret:0b101101 6);
+      ("DJ-6 balanced", Benchsuite.Classics.deutsch_jozsa_balanced 6);
+      ("Cuccaro adder 3-bit", Benchsuite.Classics.cuccaro_adder 3);
+      ("Hidden shift 6 (0b011010)", Benchsuite.Classics.hidden_shift ~shift:0b011010 6);
+      ("Parity-8", Benchsuite.Classics.parity_check 8);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, circuit) ->
+        let device =
+          if Circuit.n_qubits circuit <= 14 then Device.Ibm.ibmq_16
+          else Device.Ibm.ibmqx5
+        in
+        let r =
+          Compiler.compile (Compiler.default_options ~device)
+            (Compiler.Quantum circuit)
+        in
+        [
+          name;
+          Device.name device;
+          string_of_int (Circuit.gate_count circuit);
+          string_of_int (Circuit.depth circuit);
+          metrics r.Compiler.unoptimized Cost.eqn2;
+          metrics r.Compiler.optimized Cost.eqn2;
+          Printf.sprintf "%.1f%%" r.Compiler.percent_decrease;
+          Compiler.verification_to_string r.Compiler.verification;
+        ])
+      cases
+  in
+  print_string
+    (Benchsuite.Tabulate.render ~title:""
+       ~header:
+         [
+           "workload"; "device"; "gates"; "depth"; "unopt (T/g/cost)";
+           "opt (T/g/cost)"; "improve"; "verified";
+         ]
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Timing with Bechamel: one Test.make per table                        *)
+
+let timing () =
+  section "Timing (Bechamel): synthesis procedures behind each table";
+  let open Bechamel in
+  let open Toolkit in
+  let compile_no_verify device circuit () =
+    let opts =
+      { (Compiler.default_options ~device) with Compiler.verification = Compiler.Skip }
+    in
+    ignore (Compiler.compile opts (Compiler.Quantum circuit))
+  in
+  let single_target name =
+    Benchsuite.Single_target.circuit (Benchsuite.Single_target.find name)
+  in
+  let revlib name =
+    Benchsuite.Revlib_cascades.circuit (Benchsuite.Revlib_cascades.find name)
+  in
+  let big name = Benchsuite.Big_cascades.circuit (Benchsuite.Big_cascades.find name) in
+  let tests =
+    [
+      Test.make ~name:"table2:coupling-complexity"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun d -> ignore (Device.coupling_complexity d))
+               Device.Ibm.all));
+      Test.make ~name:"table3:compile #033f -> ibmqx5"
+        (Staged.stage (compile_no_verify Device.Ibm.ibmqx5 (single_target "033f")));
+      Test.make ~name:"table4:optimize #033f on ibmqx5"
+        (Staged.stage
+           (let r =
+              Compiler.compile
+                {
+                  (Compiler.default_options ~device:Device.Ibm.ibmqx5) with
+                  Compiler.post_optimize = false;
+                  Compiler.verification = Compiler.Skip;
+                }
+                (Compiler.Quantum (single_target "033f"))
+            in
+            let unopt = r.Compiler.unoptimized in
+            fun () -> ignore (Optimize.optimize ~device:Device.Ibm.ibmqx5 unopt)));
+      Test.make ~name:"table5:compile 4_49_17 -> ibmqx5"
+        (Staged.stage (compile_no_verify Device.Ibm.ibmqx5 (revlib "4_49_17")));
+      Test.make ~name:"table6:compile 4gt13-v1_93 -> ibmq_16"
+        (Staged.stage (compile_no_verify Device.Ibm.ibmq_16 (revlib "4gt13-v1_93")));
+      Test.make ~name:"table7:build T6_b cascade"
+        (Staged.stage (fun () ->
+             ignore
+               (Benchsuite.Big_cascades.circuit
+                  (Benchsuite.Big_cascades.find "T6_b"))));
+      Test.make ~name:"table8:compile T6_b -> big96"
+        (Staged.stage (compile_no_verify Device.Ibm.big96 (big "T6_b")));
+      Test.make ~name:"verify:qmdd 3_17_14 on ibmqx2"
+        (Staged.stage
+           (let d = Device.Ibm.ibmqx2 in
+            let r =
+              Compiler.compile
+                {
+                  (Compiler.default_options ~device:d) with
+                  Compiler.verification = Compiler.Skip;
+                }
+                (Compiler.Quantum (revlib "3_17_14"))
+            in
+            fun () ->
+              ignore
+                (Qmdd.equivalent ~up_to_phase:false r.Compiler.reference
+                   r.Compiler.optimized)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"qsynth" tests in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 2.0) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      let ns =
+        match Analyze.OLS.estimates est with
+        | Some [ v ] -> v
+        | Some _ | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-42s %12.3f ms/run\n" name (ns /. 1e6))
+    rows;
+  Printf.printf
+    "\n(The paper reports ~10^-2 s for most benchmarks, none above ~6.5 s.)\n"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let want s = args = [] || List.mem s args in
+  let results3 = ref None and results5 = ref None in
+  let get3 () =
+    match !results3 with
+    | Some r -> r
+    | None ->
+      let r = run_table3 () in
+      results3 := Some r;
+      r
+  in
+  let get5 () =
+    match !results5 with
+    | Some r -> r
+    | None ->
+      let r = run_table5 () in
+      results5 := Some r;
+      r
+  in
+  if want "table1" then table1 ();
+  if want "table2" then table2 ();
+  if want "fig1" then fig1 ();
+  if want "fig2" then fig2 ();
+  if want "fig3" then fig3 ();
+  if want "fig5" then fig5 ();
+  if want "fig6" then fig6 ();
+  if want "fig7" then fig7 ();
+  if want "table3" then table3 (get3 ());
+  if want "table4" then table4 (get3 ());
+  if want "table5" then table5 (get5 ());
+  if want "table6" then table6 (get5 ());
+  if want "table7" then table7 ();
+  if want "table8" then table8 ~verify:true ();
+  if want "verify" then verify_section (get3 ()) (get5 ());
+  if want "ablations" then ablations ();
+  if want "workloads" then workloads ();
+  if want "timing" then timing ();
+  Printf.printf "\nDone.\n"

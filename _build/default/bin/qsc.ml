@@ -1,0 +1,425 @@
+(* qsc — the quantum synthesis compiler command-line front end.
+
+   Subcommands:
+     compile     map a circuit or switching function to a device
+     devices     list the built-in device library
+     complexity  coupling complexity of a custom map
+     qmdd        print the QMDD of a circuit
+     check       formally compare two circuit files *)
+
+open Cmdliner
+
+let device_conv =
+  let parse s =
+    match Device.find s with
+    | d -> Ok d
+    | exception Not_found ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown device %S (try `qsc devices'); built-ins: %s"
+             s
+             (String.concat ", " (List.map fst (Device.registry ())))))
+  in
+  Arg.conv (parse, fun fmt d -> Format.pp_print_string fmt (Device.name d))
+
+(* --- compile --- *)
+
+let compile_cmd =
+  let input =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "i"; "input" ] ~docv:"FILE"
+          ~doc:"Input circuit (.qasm, .qc, .real) or switching function (.pla).")
+  in
+  let device =
+    Arg.(
+      value
+      & opt (some device_conv) None
+      & info [ "d"; "device" ] ~docv:"DEVICE"
+          ~doc:"Target device (see $(b,qsc devices)).")
+  in
+  let custom_map =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "map" ] ~docv:"DICT"
+          ~doc:
+            "Custom coupling map in the paper's dictionary notation, e.g. \
+             '{0:[1,2], 1:[2]}'.  Requires $(b,--qubits).")
+  in
+  let qubits =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "qubits" ] ~docv:"N" ~doc:"Register size of the custom map.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the mapped circuit as OpenQASM 2.0 (default: stdout).")
+  in
+  let no_optimize =
+    Arg.(value & flag & info [ "no-optimize" ] ~doc:"Skip post-mapping optimization.")
+  in
+  let no_verify =
+    Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip QMDD formal verification.")
+  in
+  let place =
+    Arg.(
+      value & flag
+      & info [ "place" ]
+          ~doc:
+            "Choose an initial qubit placement that shortens SWAP routes \
+             before mapping.")
+  in
+  let router =
+    Arg.(
+      value
+      & opt (enum [ ("ctr", `Ctr); ("tracking", `Tracking); ("fidelity", `Fidelity) ])
+          `Ctr
+      & info [ "router" ] ~docv:"KIND"
+          ~doc:
+            "Rerouting strategy: $(b,ctr) (the paper's swap-and-return), \
+             $(b,tracking) (accumulate SWAPs, restore once at the end), or \
+             $(b,fidelity) (CTR with synthetic-calibration-weighted paths).")
+  in
+  let weights =
+    Arg.(
+      value
+      & opt (some (t3 float float float)) None
+      & info [ "cost-weights" ] ~docv:"T,CNOT,GATE"
+          ~doc:
+            "Custom linear cost-function weights (T count, CNOT count, gate \
+             volume).  Default is the paper's Eqn. 2: 0.5,0.25,1.")
+  in
+  let run input device custom_map qubits output no_optimize no_verify weights
+      place router =
+    let resolve_device () =
+      match (device, custom_map, qubits) with
+      | Some d, None, _ -> Ok d
+      | None, Some map, Some n -> (
+        match Device.of_dict_string ~name:"custom" ~n_qubits:n map with
+        | d -> Ok d
+        | exception Invalid_argument msg -> Error (`Msg msg))
+      | None, Some _, None -> Error (`Msg "--map requires --qubits")
+      | None, None, _ -> Error (`Msg "choose a target: --device or --map/--qubits")
+      | Some _, Some _, _ -> Error (`Msg "--device and --map are exclusive")
+    in
+    match resolve_device () with
+    | Error e -> Error e
+    | Ok dev -> (
+      let cost =
+        match weights with
+        | None -> Cost.eqn2
+        | Some (t, c, g) ->
+          Cost.linear ~name:"custom" ~t_weight:t ~cnot_weight:c ~gate_weight:g
+      in
+      let router =
+        match router with
+        | `Ctr -> Compiler.Ctr
+        | `Tracking -> Compiler.Tracking
+        | `Fidelity ->
+          Compiler.Weighted_ctr
+            (Calibration.swap_hop_weight (Calibration.synthetic dev))
+      in
+      let options =
+        {
+          (Compiler.default_options ~device:dev) with
+          Compiler.cost;
+          Compiler.router;
+          Compiler.use_placement = place;
+          Compiler.post_optimize = not no_optimize;
+          Compiler.verification =
+            (if no_verify then Compiler.Skip
+             else
+               (Compiler.default_options ~device:dev).Compiler.verification);
+        }
+      in
+      match Compiler.compile options (Compiler.parse_file input) with
+      | report ->
+        Format.printf "%a" Compiler.pp_report report;
+        let qasm = Compiler.emit_qasm report in
+        (match output with
+        | Some path ->
+          Out_channel.with_open_text path (fun oc -> output_string oc qasm);
+          Format.printf "wrote %s@." path
+        | None -> print_string qasm);
+        if report.Compiler.verification = Compiler.Mismatch then
+          Error (`Msg "formal verification FAILED: output is not equivalent")
+        else Ok ()
+      | exception Compiler.Compile_error msg -> Error (`Msg msg))
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ input $ device $ custom_map $ qubits $ output $ no_optimize
+       $ no_verify $ weights $ place $ router))
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Synthesize a technology-dependent realization for a device.")
+    term
+
+(* --- devices --- *)
+
+let devices_cmd =
+  let run () =
+    List.iter
+      (fun (_, d) ->
+        Format.printf "%-8s  %3d qubits  %3d couplings  complexity %.6f@."
+          (Device.name d) (Device.n_qubits d)
+          (List.length (Device.couplings d))
+          (Device.coupling_complexity d))
+      (Device.registry ());
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "devices" ~doc:"List the built-in device library (Table 2).")
+    Term.(term_result (const run $ const ()))
+
+(* --- complexity --- *)
+
+let complexity_cmd =
+  let map_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DICT" ~doc:"Coupling map, e.g. '{0:[1,2], 1:[2]}'.")
+  in
+  let qubits =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "qubits" ] ~docv:"N" ~doc:"Register size.")
+  in
+  let run map_str qubits =
+    match Device.of_dict_string ~name:"custom" ~n_qubits:qubits map_str with
+    | d ->
+      Format.printf "couplings: %d@." (List.length (Device.couplings d));
+      Format.printf "coupling complexity: %.6f@." (Device.coupling_complexity d);
+      Format.printf "connected: %b@." (Device.is_connected d);
+      Ok ()
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Cmd.v
+    (Cmd.info "complexity"
+       ~doc:"Coupling complexity of a custom map (Section 3 metric).")
+    Term.(term_result (const run $ map_arg $ qubits))
+
+(* --- qmdd --- *)
+
+let circuit_of_file path =
+  match Compiler.parse_file path with
+  | Compiler.Quantum c -> Ok c
+  | Compiler.Classical _ ->
+    Error (`Msg "expected a circuit file, got a switching function")
+  | exception Compiler.Compile_error msg -> Error (`Msg msg)
+
+let qmdd_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Circuit file (.qasm, .qc, .real).")
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT.") in
+  let run input dot =
+    match circuit_of_file input with
+    | Error e -> Error e
+    | Ok c ->
+      let m = Qmdd.create ~n:(Circuit.n_qubits c) in
+      let e = Qmdd.of_circuit m c in
+      if dot then print_string (Qmdd.to_dot m e)
+      else begin
+        print_string (Qmdd.to_ascii m e);
+        Format.printf "nodes: %d@." (Qmdd.node_count e)
+      end;
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "qmdd" ~doc:"Build and print the QMDD of a circuit (Fig. 1 style).")
+    Term.(term_result (const run $ input $ dot))
+
+(* --- check --- *)
+
+let check_cmd =
+  let file k =
+    Arg.(
+      required
+      & pos k (some file) None
+      & info [] ~docv:(Printf.sprintf "FILE%d" (k + 1)) ~doc:"Circuit file.")
+  in
+  let exact =
+    Arg.(
+      value & flag
+      & info [ "exact" ] ~doc:"Require exact equality (no global-phase slack).")
+  in
+  let run f1 f2 exact =
+    match (circuit_of_file f1, circuit_of_file f2) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok a, Ok b ->
+      let n = max (Circuit.n_qubits a) (Circuit.n_qubits b) in
+      let a = Circuit.widen a n and b = Circuit.widen b n in
+      let eq = Qmdd.equivalent ~up_to_phase:(not exact) a b in
+      Format.printf "%s@." (if eq then "EQUIVALENT" else "NOT equivalent");
+      if eq then Ok () else Error (`Msg "circuits differ")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Formally compare two circuits with QMDDs.")
+    Term.(term_result (const run $ file 0 $ file 1 $ exact))
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Circuit file (.qasm, .qc, .real).")
+  in
+  let device =
+    Arg.(
+      value
+      & opt (some device_conv) None
+      & info [ "d"; "device" ] ~docv:"DEVICE"
+          ~doc:
+            "Also report coupling-map legality and estimated success \
+             probability under this device's synthetic calibration.")
+  in
+  let run input device =
+    match circuit_of_file input with
+    | Error e -> Error e
+    | Ok c ->
+      let s = Circuit.stats c in
+      Format.printf "qubits:       %d@." (Circuit.n_qubits c);
+      Format.printf "gates:        %d@." s.Circuit.gate_volume;
+      Format.printf "T count:      %d@." s.Circuit.t_count;
+      Format.printf "CNOT count:   %d@." s.Circuit.cnot_count;
+      Format.printf "depth:        %d@." (Circuit.depth c);
+      Format.printf "T depth:      %d@." (Circuit.t_depth c);
+      Format.printf "eqn2 cost:    %g@." (Cost.evaluate Cost.eqn2 c);
+      Format.printf "native-only:  %b@." (Circuit.uses_only_native c);
+      (match device with
+      | None -> ()
+      | Some d ->
+        Format.printf "legal on %s: %b@." (Device.name d) (Route.legal_on d c);
+        if Route.legal_on d c then begin
+          let cal = Calibration.synthetic d in
+          Format.printf "est. success probability: %.6g@."
+            (Calibration.success_probability cal c)
+        end);
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Circuit metrics: counts, depth, T-depth, Eqn. 2 cost.")
+    Term.(term_result (const run $ input $ device))
+
+(* --- run --- *)
+
+let run_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Circuit file (.qasm, .qc, .real).")
+  in
+  let start =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "input" ] ~docv:"BITS"
+          ~doc:"Initial basis state as a bit string (default: all zeros).")
+  in
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "amplitude" ] ~docv:"BITS"
+          ~doc:"Print the amplitude of one basis state of the result.")
+  in
+  let parse_bits ~n s =
+    if String.length s <> n then
+      Error (`Msg (Printf.sprintf "expected %d bits, got %S" n s))
+    else
+      let bits = Array.make n false in
+      let ok = ref true in
+      String.iteri
+        (fun i ch ->
+          match ch with
+          | '0' -> ()
+          | '1' -> bits.(i) <- true
+          | _ -> ok := false)
+        s;
+      if !ok then Ok bits else Error (`Msg (Printf.sprintf "bad bit string %S" s))
+  in
+  let bits_to_string bits =
+    String.init (Array.length bits) (fun i -> if bits.(i) then '1' else '0')
+  in
+  let run input start query =
+    match circuit_of_file input with
+    | Error e -> Error e
+    | Ok c -> (
+      let n = Circuit.n_qubits c in
+      let from =
+        match start with
+        | None -> Ok (Array.make n false)
+        | Some s -> parse_bits ~n s
+      in
+      match from with
+      | Error e -> Error e
+      | Ok from -> (
+        let m = Qmdd.create ~n in
+        let state = Qmdd.run_basis m c ~from in
+        Format.printf "input  |%s>@." (bits_to_string from);
+        (match Qmdd.classical_outcome m state ~from with
+        | Some out -> Format.printf "output |%s>  (basis state)@." (bits_to_string out)
+        | None ->
+          Format.printf "output is a superposition@.";
+          if n <= 10 then begin
+            (* Enumerate and print everything with noticeable weight. *)
+            for k = 0 to (1 lsl n) - 1 do
+              let bits = Array.init n (fun q -> (k lsr (n - 1 - q)) land 1 = 1) in
+              let amp = Qmdd.amplitude m state ~from bits in
+              let p = Mathkit.Cx.norm amp ** 2.0 in
+              if p > 1e-6 then
+                Format.printf "  |%s>  amp %s  p=%.6f@." (bits_to_string bits)
+                  (Mathkit.Cx.to_string amp) p
+            done
+          end
+          else
+            Format.printf "(register too wide to enumerate; use --amplitude)@.");
+        match query with
+        | None -> Ok ()
+        | Some s -> (
+          match parse_bits ~n s with
+          | Error e -> Error e
+          | Ok bits ->
+            Format.printf "amplitude <%s| = %s@." s
+              (Mathkit.Cx.to_string (Qmdd.amplitude m state ~from bits));
+            Ok ())))
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Simulate a circuit on a basis input via QMDDs (works at any \
+          register width for classical-outcome circuits).")
+    Term.(term_result (const run $ input $ start $ query))
+
+let main =
+  let info =
+    Cmd.info "qsc" ~version:"1.0.0"
+      ~doc:
+        "Technology-dependent quantum logic synthesis with QMDD formal \
+         verification (reproduction of Smith & Thornton, ISCA 2019)."
+  in
+  Cmd.group info
+    [
+      compile_cmd; devices_cmd; complexity_cmd; qmdd_cmd; check_cmd; stats_cmd;
+      run_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

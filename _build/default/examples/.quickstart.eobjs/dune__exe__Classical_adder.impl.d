@@ -1,0 +1,1 @@
+examples/classical_adder.ml: Array Cascade Circuit Compiler Device Esop Format List Printf Qformats Sim

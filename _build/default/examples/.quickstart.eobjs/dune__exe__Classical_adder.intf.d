@@ -1,0 +1,1 @@
+examples/classical_adder.mli:

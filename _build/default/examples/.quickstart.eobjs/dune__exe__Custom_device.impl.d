@@ -1,0 +1,1 @@
+examples/custom_device.ml: Circuit Compiler Cost Device Gate List Printf

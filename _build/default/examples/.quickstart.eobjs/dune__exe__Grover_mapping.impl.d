@@ -1,0 +1,1 @@
+examples/grover_mapping.ml: Array Circuit Compiler Decompose Device Gate List Mathkit Printf Sim

@@ -1,0 +1,1 @@
+examples/grover_mapping.mli:

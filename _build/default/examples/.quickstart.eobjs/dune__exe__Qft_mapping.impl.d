@@ -1,0 +1,1 @@
+examples/qft_mapping.ml: Circuit Compiler Decompose Device Gate List Mathkit Printf Sim

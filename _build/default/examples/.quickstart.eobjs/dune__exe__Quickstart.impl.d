@@ -1,0 +1,1 @@
+examples/quickstart.ml: Circuit Compiler Device Format Gate Printf Route Sim

@@ -1,0 +1,110 @@
+(* Grover search on real hardware topologies.
+
+   Builds one Grover iteration for a 2-qubit search (oracle marking
+   |11>, then the diffusion operator), maps it to each IBM device, and
+   shows that (a) the marked state is still found with certainty after
+   mapping and (b) sparser devices pay more gates — the coupling
+   complexity effect of Section 5.
+
+     dune exec examples/grover_mapping.exe *)
+
+let oracle_11 = [ Gate.Cz (0, 1) ]
+
+(* Diffusion = H^2 . X^2 . CZ . X^2 . H^2 over the 2 search qubits. *)
+let diffusion =
+  [
+    Gate.H 0; Gate.H 1; Gate.X 0; Gate.X 1; Gate.Cz (0, 1); Gate.X 0;
+    Gate.X 1; Gate.H 0; Gate.H 1;
+  ]
+
+let grover = Circuit.make ~n:2 ((Gate.H 0 :: [ Gate.H 1 ]) @ oracle_11 @ diffusion)
+
+let probability_of_marked circuit =
+  (* Run from |0...0> and accumulate probability over all basis states
+     whose two search qubits read 11 (ancillas from mapping stay 0 but
+     summing is simpler and equally correct). *)
+  let n = Circuit.n_qubits circuit in
+  let out = Sim.run circuit (Sim.basis_state ~n 0) in
+  let marked = ref 0.0 in
+  Array.iteri
+    (fun idx amp ->
+      let bit q = (idx lsr (n - 1 - q)) land 1 in
+      if bit 0 = 1 && bit 1 = 1 then
+        marked := !marked +. (Mathkit.Cx.norm amp ** 2.0))
+    out;
+  !marked
+
+(* A 3-qubit Grover search for |111> built from the library's
+   multi-controlled-Z decomposition: two iterations push the success
+   probability to ~0.945. *)
+let grover3 =
+  let n = 4 in
+  (* 3 search qubits + 1 borrowable wire for the MCZ lowering *)
+  let h_layer = [ Gate.H 0; Gate.H 1; Gate.H 2 ] in
+  let oracle = Decompose.mcz ~n ~controls:[ 0; 1 ] ~target:2 in
+  let diffusion =
+    h_layer
+    @ [ Gate.X 0; Gate.X 1; Gate.X 2 ]
+    @ Decompose.mcz ~n ~controls:[ 0; 1 ] ~target:2
+    @ [ Gate.X 0; Gate.X 1; Gate.X 2 ]
+    @ h_layer
+  in
+  let iteration = oracle @ diffusion in
+  Circuit.make ~n (h_layer @ iteration @ iteration)
+
+let probability_of_111 circuit =
+  let n = Circuit.n_qubits circuit in
+  let out = Sim.run circuit (Sim.basis_state ~n 0) in
+  let marked = ref 0.0 in
+  Array.iteri
+    (fun idx amp ->
+      let bit q = (idx lsr (n - 1 - q)) land 1 in
+      if bit 0 = 1 && bit 1 = 1 && bit 2 = 1 then
+        marked := !marked +. (Mathkit.Cx.norm amp ** 2.0))
+    out;
+  !marked
+
+let () =
+  Printf.printf "one Grover iteration over 2 qubits, marked item |11>\n";
+  Printf.printf "ideal probability of measuring |11>: %.3f\n\n"
+    (probability_of_marked grover);
+  Printf.printf "%-8s  %10s  %10s  %8s  %12s  %s\n" "device" "unopt" "optimized"
+    "improve" "P(marked)" "verified";
+  List.iter
+    (fun device ->
+      let report =
+        Compiler.compile
+          (Compiler.default_options ~device)
+          (Compiler.Quantum grover)
+      in
+      let p = probability_of_marked report.Compiler.optimized in
+      Printf.printf "%-8s  %6d gates %6d gates  %6.2f%%  %12.3f  %s\n"
+        (Device.name device)
+        (Circuit.gate_count report.Compiler.unoptimized)
+        (Circuit.gate_count report.Compiler.optimized)
+        report.Compiler.percent_decrease p
+        (Compiler.verification_to_string report.Compiler.verification))
+    [ Device.Ibm.ibmqx2; Device.Ibm.ibmqx4 ];
+  Printf.printf
+    "\nThe search still succeeds with probability 1.0 after technology mapping:\n";
+  Printf.printf
+    "decomposition, rerouting and optimization preserved the algorithm.\n";
+
+  (* The 3-qubit search with two iterations, oracle built from the
+     multi-controlled-Z decomposition. *)
+  Printf.printf
+    "\ntwo Grover iterations over 3 qubits, marked item |111> (MCZ oracle):\n";
+  Printf.printf "ideal probability of measuring |111>: %.3f\n"
+    (probability_of_111 grover3);
+  let device = Device.Ibm.ibmqx5 in
+  let report =
+    Compiler.compile (Compiler.default_options ~device) (Compiler.Quantum grover3)
+  in
+  Printf.printf
+    "mapped to %s: %d gates -> %d optimized (%.1f%%), %s, P(|111>) = %.3f\n"
+    (Device.name device)
+    (Circuit.gate_count report.Compiler.unoptimized)
+    (Circuit.gate_count report.Compiler.optimized)
+    report.Compiler.percent_decrease
+    (Compiler.verification_to_string report.Compiler.verification)
+    (probability_of_111 report.Compiler.optimized)

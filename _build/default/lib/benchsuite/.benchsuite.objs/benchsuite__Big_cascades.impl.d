@@ -1,0 +1,1 @@
+lib/benchsuite/big_cascades.ml: Circuit Gate List Printf

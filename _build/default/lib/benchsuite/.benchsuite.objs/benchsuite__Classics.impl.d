@@ -1,0 +1,1 @@
+lib/benchsuite/classics.ml: Circuit Decompose Gate List

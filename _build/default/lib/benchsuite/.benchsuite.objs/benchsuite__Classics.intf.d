@@ -1,0 +1,1 @@
+lib/benchsuite/classics.mli: Circuit

@@ -1,0 +1,1 @@
+lib/benchsuite/revlib_cascades.ml: List Qformats

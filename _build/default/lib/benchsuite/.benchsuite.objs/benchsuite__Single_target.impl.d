@@ -1,0 +1,1 @@
+lib/benchsuite/single_target.ml: Array Cascade Char Circuit Decompose Gate List Printf String

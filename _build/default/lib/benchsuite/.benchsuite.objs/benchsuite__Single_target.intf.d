@@ -1,0 +1,1 @@
+lib/benchsuite/single_target.mli: Circuit

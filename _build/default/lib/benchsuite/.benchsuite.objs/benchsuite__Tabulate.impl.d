@@ -1,0 +1,1 @@
+lib/benchsuite/tabulate.ml: Array Buffer List String

@@ -1,0 +1,24 @@
+type t = {
+  name : string;
+  n_controls : int;
+  gates : (int list * int) list;
+}
+
+(* Table 7: gate g of benchmark Tn_b has controls q(20g+1)..q(20g+k)
+   and target q(20g+25), k = n-1; each target lands among the next
+   gate's control row so consecutive gates share a qubit. *)
+let benchmark n_controls =
+  let gates =
+    List.init 4 (fun g ->
+        let base = 20 * g in
+        let controls = List.init n_controls (fun i -> base + 1 + i) in
+        (controls, base + 25))
+  in
+  { name = Printf.sprintf "T%d_b" (n_controls + 1); n_controls; gates }
+
+let all = List.map benchmark [ 5; 6; 7; 8; 9 ]
+let find name = List.find (fun b -> b.name = name) all
+
+let circuit b =
+  Circuit.make ~n:96
+    (List.map (fun (controls, target) -> Gate.mct controls target) b.gates)

@@ -1,0 +1,18 @@
+(** The 96-qubit benchmark cascades of the paper's Table 7: for each of
+    T6..T10, a cascade of four generalized Toffoli gates placed so that
+    consecutive gates share a qubit (each gate's target is a control of
+    the next). *)
+
+type t = {
+  name : string;  (** "T6_b" .. "T10_b" *)
+  n_controls : int;  (** controls per gate (5 for T6, ..., 9 for T10) *)
+  gates : (int list * int) list;  (** (controls, target) per cascade gate *)
+}
+
+(** The five benchmarks exactly as specified in Table 7. *)
+val all : t list
+
+val find : string -> t
+
+(** [circuit b] is the 96-qubit generalized-Toffoli cascade. *)
+val circuit : t -> Circuit.t

@@ -1,0 +1,117 @@
+let ghz n =
+  if n < 2 then invalid_arg "Classics.ghz: need at least 2 qubits";
+  Circuit.make ~n
+    (Gate.H 0
+    :: List.init (n - 1) (fun i -> Gate.Cnot { control = i; target = i + 1 }))
+
+let pi = 4.0 *. atan 1.0
+
+let qft n =
+  if n < 1 then invalid_arg "Classics.qft: need at least 1 qubit";
+  let gates = ref [] in
+  for j = 0 to n - 1 do
+    gates := Gate.H j :: !gates;
+    for k = j + 1 to n - 1 do
+      let theta = pi /. float_of_int (1 lsl (k - j)) in
+      List.iter
+        (fun g -> gates := g :: !gates)
+        (Decompose.controlled_phase ~theta ~control:k ~target:j)
+    done
+  done;
+  Circuit.make ~n (List.rev !gates)
+
+let bernstein_vazirani ~secret n =
+  if n < 1 || secret < 0 || secret >= 1 lsl n then
+    invalid_arg "Classics.bernstein_vazirani: secret out of range";
+  let data = List.init n (fun i -> i) in
+  let h_layer = List.map (fun q -> Gate.H q) data in
+  (* Ancilla in |-> : X then H. *)
+  let prepare = h_layer @ [ Gate.X n; Gate.H n ] in
+  let oracle =
+    List.filter_map
+      (fun i ->
+        if (secret lsr (n - 1 - i)) land 1 = 1 then
+          Some (Gate.Cnot { control = i; target = n })
+        else None)
+      data
+  in
+  Circuit.make ~n:(n + 1) (prepare @ oracle @ h_layer)
+
+let deutsch_jozsa oracle n =
+  let data = List.init n (fun i -> i) in
+  let h_layer = List.map (fun q -> Gate.H q) data in
+  let prepare = h_layer @ [ Gate.X n; Gate.H n ] in
+  Circuit.make ~n:(n + 1) (prepare @ oracle @ h_layer)
+
+let deutsch_jozsa_constant n = deutsch_jozsa [] n
+
+let deutsch_jozsa_balanced n =
+  (* Parity of all inputs: balanced for n >= 1. *)
+  deutsch_jozsa
+    (List.init n (fun i -> Gate.Cnot { control = i; target = n }))
+    n
+
+(* Cuccaro-Draper-Kutin-Moulton ripple-carry adder, b <- a + b.
+   MAJ computes the running majority into the a-wire; UMA unwinds it
+   while writing the sum bits into b. *)
+let cuccaro_adder n =
+  if n < 1 then invalid_arg "Classics.cuccaro_adder: need at least 1 bit";
+  let a i = 1 + i in
+  (* a_0 is the LSB *)
+  let b i = 1 + n + i in
+  let carry_in = 0 and carry_out = (2 * n) + 1 in
+  let maj x y z =
+    [
+      Gate.Cnot { control = z; target = y };
+      Gate.Cnot { control = z; target = x };
+      Gate.Toffoli { c1 = x; c2 = y; target = z };
+    ]
+  in
+  let uma x y z =
+    [
+      Gate.Toffoli { c1 = x; c2 = y; target = z };
+      Gate.Cnot { control = z; target = x };
+      Gate.Cnot { control = x; target = y };
+    ]
+  in
+  let majs =
+    List.concat
+      (List.init n (fun i ->
+           let prev = if i = 0 then carry_in else a (i - 1) in
+           maj prev (b i) (a i)))
+  in
+  let umas =
+    List.concat
+      (List.init n (fun k ->
+           let i = n - 1 - k in
+           let prev = if i = 0 then carry_in else a (i - 1) in
+           uma prev (b i) (a i)))
+  in
+  Circuit.make
+    ~n:((2 * n) + 2)
+    (majs @ [ Gate.Cnot { control = a (n - 1); target = carry_out } ] @ umas)
+
+(* Roetteler's hidden-shift algorithm for the Maiorana-McFarland bent
+   function f(u,v) = u.v, whose dual has the same form:
+   H^n ; shifted phase oracle ; H^n ; dual phase oracle ; H^n. *)
+let hidden_shift ~shift n =
+  if n < 2 || n mod 2 <> 0 then
+    invalid_arg "Classics.hidden_shift: need an even qubit count >= 2";
+  if shift < 0 || shift >= 1 lsl n then
+    invalid_arg "Classics.hidden_shift: shift out of range";
+  let half = n / 2 in
+  let h_layer = List.init n (fun q -> Gate.H q) in
+  let x_mask =
+    List.filter_map
+      (fun i ->
+        if (shift lsr (n - 1 - i)) land 1 = 1 then Some (Gate.X i) else None)
+      (List.init n (fun i -> i))
+  in
+  let cz_pairs = List.init half (fun i -> Gate.Cz (i, i + half)) in
+  Circuit.make ~n
+    (List.concat [ h_layer; x_mask; cz_pairs; x_mask; h_layer; cz_pairs; h_layer ])
+
+let parity_check n =
+  if n < 1 then invalid_arg "Classics.parity_check: need at least 1 wire";
+  Circuit.make ~n:(n + 1)
+    (List.init n (fun i -> Gate.Cnot { control = i; target = n }))

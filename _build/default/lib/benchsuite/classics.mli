@@ -1,0 +1,46 @@
+(** Classic quantum and reversible circuits beyond the paper's three
+    benchmark families — the workloads a user of the tool actually
+    brings: state preparation, oracles, arithmetic, and the QFT.
+
+    Every constructor returns a plain {!Circuit.t} ready for the
+    compiler. *)
+
+(** [ghz n] prepares the n-qubit GHZ state from |0...0>: an H and a
+    CNOT ladder. *)
+val ghz : int -> Circuit.t
+
+(** [qft n] is the quantum Fourier transform without the final qubit
+    reversal, built from H and controlled phase rotations. *)
+val qft : int -> Circuit.t
+
+(** [bernstein_vazirani ~secret n] is the BV oracle-plus-interference
+    circuit over [n] data qubits and one ancilla (wire [n]); bit [i] of
+    [secret] (input 0 = MSB, as everywhere in this library) selects a
+    CNOT.  Measuring the data register ideally yields [secret]. *)
+val bernstein_vazirani : secret:int -> int -> Circuit.t
+
+(** [deutsch_jozsa_constant n] and [deutsch_jozsa_balanced n]: the DJ
+    circuit over [n] data qubits + 1 ancilla with a constant-0 oracle
+    (no gates) and the balanced parity oracle, respectively. *)
+val deutsch_jozsa_constant : int -> Circuit.t
+
+val deutsch_jozsa_balanced : int -> Circuit.t
+
+(** [cuccaro_adder n] is the Cuccaro ripple-carry adder computing
+    b <- a + b on two n-bit registers with one borrowed carry wire and
+    one carry-out wire, all from CNOT and Toffoli gates.  Layout
+    (2n + 2 wires): wire 0 is the incoming-carry ancilla (must be 0),
+    wires 1..n hold a (wire 1 = least significant bit), wires n+1..2n
+    hold b (wire n+1 = LSB), wire 2n+1 receives the carry out. *)
+val cuccaro_adder : int -> Circuit.t
+
+(** [hidden_shift ~shift n] is a bent-function hidden-shift circuit on
+    [n] qubits (n even): H layer, shift X-mask, CZ pairing, shift mask,
+    H layer; measuring ideally returns [shift].  A rotation-free,
+    CZ-heavy workload. *)
+val hidden_shift : shift:int -> int -> Circuit.t
+
+(** [parity_check n] computes the parity of n data wires onto an
+    ancilla (wire [n]): a CNOT fan-in, the simplest classical
+    workload. *)
+val parity_check : int -> Circuit.t

@@ -1,0 +1,118 @@
+type t = {
+  name : string;
+  paper_qubits : int;
+  largest_gate : string;
+  paper_gate_count : int;
+  source : string;
+}
+
+(* Reconstructed cascades: same width, gate count and largest gate as
+   the paper's Table 5 rows.  Reversible NOT/CNOT/Toffoli/MCT logic in
+   RevLib [.real] syntax; the target is the last operand. *)
+
+let real_3_17_14 =
+  ".version 2.0\n\
+   .numvars 3\n\
+   .variables a b c\n\
+   .begin\n\
+   t3 b c a\n\
+   t2 c b\n\
+   t1 c\n\
+   t3 a b c\n\
+   t2 b a\n\
+   t2 c b\n\
+   .end\n"
+
+let real_fred6 =
+  ".version 2.0\n\
+   .numvars 3\n\
+   .variables a b c\n\
+   .begin\n\
+   t2 c b\n\
+   t3 a b c\n\
+   t2 c b\n\
+   .end\n"
+
+let real_4_49_17 =
+  ".version 2.0\n\
+   .numvars 4\n\
+   .variables a b c d\n\
+   .begin\n\
+   t3 a b c\n\
+   t2 c d\n\
+   t3 b d a\n\
+   t1 b\n\
+   t2 a c\n\
+   t3 c d b\n\
+   t2 d a\n\
+   t1 c\n\
+   t3 a c d\n\
+   t2 b c\n\
+   t3 d b a\n\
+   t1 d\n\
+   .end\n"
+
+let real_4gt12_v0_88 =
+  ".version 2.0\n\
+   .numvars 5\n\
+   .variables a b c d e\n\
+   .begin\n\
+   t5 a b c d e\n\
+   t3 a b c\n\
+   t2 d e\n\
+   t4 b c d a\n\
+   t1 e\n\
+   .end\n"
+
+let real_4gt13_v1_93 =
+  ".version 2.0\n\
+   .numvars 5\n\
+   .variables a b c d e\n\
+   .begin\n\
+   t4 b c d e\n\
+   t2 a b\n\
+   t3 c d a\n\
+   t1 d\n\
+   .end\n"
+
+let all =
+  [
+    {
+      name = "3_17_14";
+      paper_qubits = 3;
+      largest_gate = "toffoli";
+      paper_gate_count = 6;
+      source = real_3_17_14;
+    };
+    {
+      name = "fred6";
+      paper_qubits = 3;
+      largest_gate = "toffoli";
+      paper_gate_count = 3;
+      source = real_fred6;
+    };
+    {
+      name = "4_49_17";
+      paper_qubits = 4;
+      largest_gate = "toffoli";
+      paper_gate_count = 12;
+      source = real_4_49_17;
+    };
+    {
+      name = "4gt12-v0_88";
+      paper_qubits = 5;
+      largest_gate = "T5";
+      paper_gate_count = 5;
+      source = real_4gt12_v0_88;
+    };
+    {
+      name = "4gt13-v1_93";
+      paper_qubits = 5;
+      largest_gate = "T4";
+      paper_gate_count = 4;
+      source = real_4gt13_v1_93;
+    };
+  ]
+
+let find name = List.find (fun b -> b.name = name) all
+let circuit b = (Qformats.Real.of_string b.source).Qformats.Real.circuit

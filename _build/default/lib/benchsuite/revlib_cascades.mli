@@ -1,0 +1,21 @@
+(** The Toffoli-cascade benchmark set of the paper's Table 5 (RevLib,
+    ref. [24]).
+
+    revlib.org is unreliable, so the five circuits are reconstructed
+    with the same structural parameters the paper reports — qubit
+    count, gate count, and largest gate — and shipped as [.real] sources
+    parsed by {!Qformats.Real} (see DESIGN.md, Substitutions). *)
+
+type t = {
+  name : string;
+  paper_qubits : int;
+  largest_gate : string;  (** "toffoli", "T4", "T5" — as printed *)
+  paper_gate_count : int;
+  source : string;  (** the [.real] text *)
+}
+
+val all : t list
+val find : string -> t
+
+(** [circuit b] parses the [.real] source. *)
+val circuit : t -> Circuit.t

@@ -1,0 +1,81 @@
+type t = {
+  name : string;
+  paper_qubits : int;
+  n_vars : int;
+  table : bool array;
+}
+
+let table_of_hex hex =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg (Printf.sprintf "Single_target.table_of_hex: %C" c)
+  in
+  let bits = 4 * String.length hex in
+  let value =
+    String.fold_left (fun acc c -> (acc * 16) + digit c) 0 hex
+  in
+  (* Assignment 0 reads the most significant bit of the id. *)
+  Array.init bits (fun k -> (value lsr (bits - 1 - k)) land 1 = 1)
+
+let entry name paper_qubits =
+  let table = table_of_hex name in
+  let n_vars =
+    let rec log2 v acc = if v = 1 then acc else log2 (v / 2) (acc + 1) in
+    log2 (Array.length table) 0
+  in
+  { name; paper_qubits; n_vars; table }
+
+(* Function ids and qubit counts exactly as listed in Table 3. *)
+let all =
+  [
+    entry "1" 3;
+    entry "3" 3;
+    entry "01" 5;
+    entry "03" 4;
+    entry "07" 5;
+    entry "0f" 4;
+    entry "17" 4;
+    entry "0001" 6;
+    entry "0003" 6;
+    entry "0007" 6;
+    entry "000f" 5;
+    entry "0017" 6;
+    entry "001f" 6;
+    entry "003f" 6;
+    entry "007f" 6;
+    entry "00ff" 5;
+    entry "0117" 6;
+    entry "011f" 6;
+    entry "013f" 6;
+    entry "017f" 6;
+    entry "033f" 5;
+    entry "0356" 5;
+    entry "0357" 6;
+    entry "035f" 6;
+  ]
+
+let find name = List.find (fun b -> b.name = name) all
+
+let circuit b =
+  let cascade = Cascade.of_truth_table b.table in
+  (* Largest cube of the cascade decides whether a borrowable wire is
+     required for generalized-Toffoli decomposition: k >= 3 controls
+     need at least one free qubit. *)
+  let max_controls =
+    Circuit.fold
+      (fun acc g ->
+        match g with
+        | Gate.Mct { controls; _ } -> max acc (List.length controls)
+        | Gate.Toffoli _ -> max acc 2
+        | _ -> acc)
+      0 cascade
+  in
+  let needed =
+    if max_controls >= 3 then max (b.n_vars + 1) (max_controls + 2)
+    else b.n_vars + 1
+  in
+  let width = max b.paper_qubits needed in
+  Decompose.to_native (Circuit.widen cascade width)

@@ -1,0 +1,33 @@
+(** The "Optimal Single-target Gates" benchmark family of the paper's
+    Table 3 (originally from quantumlib.stationq.com, ref. [23]; the
+    site is defunct, so the functions are re-synthesized — see
+    DESIGN.md, Substitutions).
+
+    A single-target gate applies X to a target wire exactly when a
+    control function [f] over the other wires is 1.  Each benchmark is
+    identified by the hex encoding of [f]'s truth table: [#033f] is the
+    4-variable function whose truth table reads 0x033f with assignment 0
+    at the most significant bit. *)
+
+type t = {
+  name : string;  (** the paper's function id, e.g. "033f" *)
+  paper_qubits : int;  (** the qubit count printed in Table 3 *)
+  n_vars : int;  (** control-function variables *)
+  table : bool array;  (** the control function *)
+}
+
+(** The 24 benchmarks of Table 3, in the paper's row order. *)
+val all : t list
+
+val find : string -> t
+
+(** [circuit b] is the technology-independent Clifford+T realization:
+    the ESOP cascade of the control function, lowered to the
+    one-qubit + CNOT library.  The register is the paper's qubit count,
+    enlarged only when generalized-Toffoli decomposition needs one more
+    borrowable wire than the paper's count provides. *)
+val circuit : t -> Circuit.t
+
+(** [table_of_hex hex] decodes a truth-table id ("033f" -> 16 entries).
+    @raise Invalid_argument on non-hex input. *)
+val table_of_hex : string -> bool array

@@ -1,0 +1,33 @@
+let render ~title ~header rows =
+  let n_cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) (List.length header) rows
+  in
+  let pad row = row @ List.init (n_cols - List.length row) (fun _ -> "") in
+  let all_rows = List.map pad (header :: rows) in
+  let widths = Array.make n_cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all_rows;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let line row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  (match all_rows with
+  | hdr :: body ->
+    line hdr;
+    Buffer.add_string buf
+      (String.make
+         (Array.fold_left ( + ) 0 widths + (2 * (n_cols - 1)))
+         '-');
+    Buffer.add_char buf '\n';
+    List.iter line body
+  | [] -> ());
+  Buffer.contents buf

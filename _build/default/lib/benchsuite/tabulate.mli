@@ -1,0 +1,6 @@
+(** Plain-text table rendering for the benchmark harness: fixed-width
+    columns sized to content, a header rule, one line per row. *)
+
+(** [render ~title ~header rows] lays the table out; ragged rows are
+    padded with empty cells. *)
+val render : title:string -> header:string list -> string list list -> string

@@ -1,0 +1,109 @@
+type t = { n : int; gates : Gate.t list }
+
+let validate ~n gates =
+  if n <= 0 then invalid_arg "Circuit.make: need at least one qubit";
+  List.iter
+    (fun g ->
+      if Gate.max_qubit g >= n then
+        invalid_arg
+          (Printf.sprintf "Circuit.make: gate %s outside %d-qubit register"
+             (Gate.to_string g) n))
+    gates
+
+let make ~n gates =
+  validate ~n gates;
+  { n; gates }
+
+let of_gates gates =
+  let n = 1 + List.fold_left (fun acc g -> max acc (Gate.max_qubit g)) 0 gates in
+  { n; gates }
+
+let empty n = make ~n []
+let n_qubits c = c.n
+let gates c = c.gates
+let gate_count c = List.length c.gates
+let is_empty c = c.gates = []
+
+let append c g =
+  validate ~n:c.n [ g ];
+  { c with gates = c.gates @ [ g ] }
+
+let concat a b =
+  if a.n <> b.n then invalid_arg "Circuit.concat: width mismatch";
+  { a with gates = a.gates @ b.gates }
+
+let inverse c = { c with gates = List.rev_map Gate.adjoint c.gates }
+
+let widen c n =
+  if n < c.n then invalid_arg "Circuit.widen: cannot shrink";
+  { c with n }
+
+let rename f c =
+  let gates = List.map (Gate.rename f) c.gates in
+  let needed =
+    1 + List.fold_left (fun acc g -> max acc (Gate.max_qubit g)) 0 gates
+  in
+  { n = max c.n needed; gates }
+
+let equal a b = a.n = b.n && List.equal Gate.equal a.gates b.gates
+
+type stats = { t_count : int; cnot_count : int; gate_volume : int }
+
+let stats c =
+  List.fold_left
+    (fun acc g ->
+      {
+        t_count = (acc.t_count + if Gate.is_t_like g then 1 else 0);
+        cnot_count = (acc.cnot_count + if Gate.is_cnot g then 1 else 0);
+        gate_volume = acc.gate_volume + 1;
+      })
+    { t_count = 0; cnot_count = 0; gate_volume = 0 }
+    c.gates
+
+let t_count c = (stats c).t_count
+let cnot_count c = (stats c).cnot_count
+
+(* Longest weighted chain through shared qubits: per-qubit frontier
+   levels, each gate lands at 1 + max over its support (or +weight). *)
+let weighted_depth weight c =
+  let level = Array.make c.n 0 in
+  let finish = ref 0 in
+  List.iter
+    (fun g ->
+      let support = Gate.support g in
+      let at = List.fold_left (fun acc q -> max acc level.(q)) 0 support in
+      let after = at + weight g in
+      List.iter (fun q -> level.(q) <- after) support;
+      finish := max !finish after)
+    c.gates;
+  !finish
+
+let depth c = weighted_depth (fun _ -> 1) c
+let t_depth c = weighted_depth (fun g -> if Gate.is_t_like g then 1 else 0) c
+
+let layers c =
+  let level = Array.make c.n 0 in
+  let buckets = Hashtbl.create 16 in
+  let max_layer = ref 0 in
+  List.iter
+    (fun g ->
+      let support = Gate.support g in
+      let at = List.fold_left (fun acc q -> max acc level.(q)) 0 support in
+      List.iter (fun q -> level.(q) <- at + 1) support;
+      max_layer := max !max_layer (at + 1);
+      Hashtbl.replace buckets at
+        (g :: Option.value ~default:[] (Hashtbl.find_opt buckets at)))
+    c.gates;
+  List.init !max_layer (fun k ->
+      List.rev (Option.value ~default:[] (Hashtbl.find_opt buckets k)))
+let uses_only_native c = List.for_all Gate.is_transmon_native c.gates
+let max_gate_arity c = List.fold_left (fun acc g -> max acc (Gate.arity g)) 0 c.gates
+let fold f init c = List.fold_left f init c.gates
+let iter f c = List.iter f c.gates
+let map_gates f c = { c with gates = List.concat_map f c.gates }
+
+let pp fmt c =
+  Format.fprintf fmt "circuit on %d qubits (%d gates):@\n" c.n (gate_count c);
+  List.iter (fun g -> Format.fprintf fmt "  %a@\n" Gate.pp g) c.gates
+
+let to_string c = Format.asprintf "%a" pp c

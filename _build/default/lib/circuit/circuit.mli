@@ -1,0 +1,93 @@
+(** Quantum circuits: an ordered gate list over a fixed-width qubit
+    register.
+
+    Gates apply left to right: the circuit [g1; g2] has transfer matrix
+    [U2 * U1].  This is the intermediate representation every stage of
+    the compiler consumes and produces. *)
+
+type t
+
+(** [make ~n gates] is a circuit on [n] qubits.
+    @raise Invalid_argument if [n <= 0] or a gate touches a qubit
+    outside [0 .. n-1]. *)
+val make : n:int -> Gate.t list -> t
+
+(** [of_gates gates] infers the width from the largest qubit used
+    (at least 1 qubit). *)
+val of_gates : Gate.t list -> t
+
+(** [empty n] is the identity circuit on [n] qubits. *)
+val empty : int -> t
+
+val n_qubits : t -> int
+val gates : t -> Gate.t list
+val gate_count : t -> int
+val is_empty : t -> bool
+
+(** [append c g] adds [g] at the end.
+    @raise Invalid_argument if [g] does not fit the register. *)
+val append : t -> Gate.t -> t
+
+(** [concat a b] runs [a] then [b].
+    @raise Invalid_argument when widths differ. *)
+val concat : t -> t -> t
+
+(** [inverse c] reverses the gate order and takes adjoints; running
+    [concat c (inverse c)] is the identity. *)
+val inverse : t -> t
+
+(** [widen c n] re-declares the circuit on a larger register.
+    @raise Invalid_argument if [n < n_qubits c]. *)
+val widen : t -> int -> t
+
+(** [rename f c] renames qubits through [f]; the width is re-inferred
+    from the renamed gates (at least [n_qubits c]). *)
+val rename : (int -> int) -> t -> t
+
+val equal : t -> t -> bool
+
+(** Static metrics used by the cost function of Eqn. 2. *)
+type stats = {
+  t_count : int;  (** number of T and T-dagger gates *)
+  cnot_count : int;  (** number of CNOT gates *)
+  gate_volume : int;  (** total gate count *)
+}
+
+val stats : t -> stats
+
+val t_count : t -> int
+val cnot_count : t -> int
+
+(** [depth c] is the circuit depth: the length of the longest chain of
+    gates sharing qubits, i.e. the number of time steps when every gate
+    takes one step and gates on disjoint qubits run in parallel.  The
+    empty circuit has depth 0. *)
+val depth : t -> int
+
+(** [t_depth c] counts only T/T-dagger layers along the critical path —
+    the fault-tolerance latency metric of Amy-Maslov-Mosca (the paper's
+    ref. [10]). *)
+val t_depth : t -> int
+
+(** [layers c] is the ASAP schedule: gates partitioned into time steps,
+    each gate placed in the earliest step after every earlier gate
+    sharing one of its qubits.  [List.length (layers c) = depth c], and
+    concatenating the layers in order is a valid reordering of [c]
+    (only commuting-by-disjointness moves). *)
+val layers : t -> Gate.t list list
+
+(** [uses_only_native c] holds when every gate is in the transmon
+    library (see {!Gate.is_transmon_native}). *)
+val uses_only_native : t -> bool
+
+(** [max_gate_arity c] is the arity of the widest gate (0 if empty). *)
+val max_gate_arity : t -> int
+
+(** [fold f init c] folds over gates in execution order. *)
+val fold : ('a -> Gate.t -> 'a) -> 'a -> t -> 'a
+
+val iter : (Gate.t -> unit) -> t -> unit
+val map_gates : (Gate.t -> Gate.t list) -> t -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,293 @@
+type input =
+  | Quantum of Circuit.t
+  | Classical of Qformats.Pla.t
+
+type verification_mode =
+  | Skip
+  | Qmdd_check of { node_budget : int option }
+
+type router = Ctr | Weighted_ctr of (int -> int -> float) | Tracking
+
+type options = {
+  device : Device.t;
+  cost : Cost.t;
+  router : router;
+  pre_optimize : bool;
+  post_optimize : bool;
+  use_placement : bool;
+  verification : verification_mode;
+}
+
+let default_options ~device =
+  {
+    device;
+    cost = Cost.eqn2;
+    router = Ctr;
+    pre_optimize = true;
+    post_optimize = true;
+    use_placement = false;
+    verification = Qmdd_check { node_budget = Some 8_000_000 };
+  }
+
+type verification_result =
+  | Verified
+  | Verified_staged
+  | Mismatch
+  | Budget_exceeded
+  | Skipped
+
+let verified = function
+  | Verified | Verified_staged -> true
+  | Mismatch | Budget_exceeded | Skipped -> false
+
+type report = {
+  reference : Circuit.t;
+  placement : int array option;
+  unoptimized : Circuit.t;
+  optimized : Circuit.t;
+  unoptimized_cost : float;
+  optimized_cost : float;
+  percent_decrease : float;
+  verification : verification_result;
+  elapsed_seconds : float;
+  verification_seconds : float;
+}
+
+exception Compile_error of string
+
+let front_end = function
+  | Quantum c -> c
+  | Classical pla -> Cascade.of_pla pla
+
+(* Staged proof for wide registers: (1) reference = native lowering,
+   (2) every routed CNOT block = its CNOT (and the concatenation of the
+   blocks is literally the unoptimized circuit), (3) unoptimized =
+   optimized.  The three diagrams stay small where the single-shot
+   miter explodes; chaining the equivalences gives
+   reference = optimized. *)
+let verify_staged ~node_budget ~route device native unoptimized optimized
+    reference =
+  let eq a b = Qmdd.equivalent ~up_to_phase:false ?node_budget a b in
+  let n = Device.n_qubits device in
+  let blocks =
+    List.map
+      (fun g ->
+        (g, Route.expand_swaps device (route device (Circuit.make ~n [ g ]))))
+      (Circuit.gates native)
+  in
+  let reassembled =
+    Circuit.make ~n (List.concat_map (fun (_, b) -> Circuit.gates b) blocks)
+  in
+  if not (Circuit.equal reassembled unoptimized) then Budget_exceeded
+  else if not (eq reference native) then Mismatch
+  else if
+    not
+      (List.for_all
+         (fun (g, block) ->
+           match g with
+           | Gate.Cnot _ -> eq (Circuit.make ~n [ g ]) block
+           | _ -> true)
+         blocks)
+  then Mismatch
+  else if eq unoptimized optimized then Verified_staged
+  else Mismatch
+
+let verify mode options ~route ~native ~unoptimized ~optimized reference =
+  match mode with
+  | Skip -> (Skipped, 0.0)
+  | Qmdd_check { node_budget } ->
+    let start = Sys.time () in
+    let direct () =
+      match
+        Qmdd.equivalent ~up_to_phase:false ?node_budget reference optimized
+      with
+      | true -> Verified
+      | false -> Mismatch
+      | exception Qmdd.Node_budget_exceeded -> Budget_exceeded
+    in
+    let stateless_router =
+      (* Blockwise routing only reassembles when gates route
+         independently of each other. *)
+      match options.router with
+      | Ctr | Weighted_ctr _ -> true
+      | Tracking -> false
+    in
+    let staged () =
+      if not stateless_router then Budget_exceeded
+      else
+        match
+          verify_staged ~node_budget ~route options.device native unoptimized
+            optimized reference
+        with
+        | outcome -> outcome
+        | exception Qmdd.Node_budget_exceeded -> Budget_exceeded
+    in
+    let outcome =
+      (* Wide registers go straight to the staged proof; small ones to
+         the cheaper single-shot check, with the staged chain as the
+         fallback when the diagram outgrows the budget. *)
+      if Device.n_qubits options.device > 32 then
+        match staged () with
+        | Budget_exceeded -> direct ()
+        | outcome -> outcome
+      else
+        match direct () with
+        | Budget_exceeded -> staged ()
+        | outcome -> outcome
+    in
+    (outcome, Sys.time () -. start)
+
+let compile options input =
+  let device = options.device in
+  let circuit = front_end input in
+  if Circuit.n_qubits circuit > Device.n_qubits device then
+    raise
+      (Compile_error
+         (Printf.sprintf "circuit needs %d qubits but %s has only %d"
+            (Circuit.n_qubits circuit) (Device.name device)
+            (Device.n_qubits device)));
+  let start = Sys.time () in
+  (* Widening to the device register first gives generalized-Toffoli
+     decomposition its borrowable qubits. *)
+  let reference = Circuit.widen circuit (Device.n_qubits device) in
+  let staged =
+    (* The technology-independent stage always optimizes by gate counts
+       (Eqn. 2): hardware-aware costs like per-coupling fidelity are
+       only meaningful once gates sit on physical qubits. *)
+    if options.pre_optimize then Optimize.optimize ~cost:Cost.eqn2 reference
+    else reference
+  in
+  let native =
+    match Decompose.to_native staged with
+    | c -> c
+    | exception Decompose.Not_enough_qubits msg -> raise (Compile_error msg)
+  in
+  (* Placement relabels the register; verification then compares
+     against the identically-relabelled reference. *)
+  let placement =
+    if options.use_placement && not (Device.is_simulator device) then
+      Some (Place.choose device native)
+    else None
+  in
+  let native, reference =
+    match placement with
+    | Some a -> (Place.apply a native, Place.apply a reference)
+    | None -> (native, reference)
+  in
+  let route =
+    match options.router with
+    | Ctr -> Route.route_circuit_swaps
+    | Weighted_ctr weight -> Route.route_circuit_swaps_weighted ~weight
+    | Tracking -> Route.route_circuit_tracking
+  in
+  let routed_swaps =
+    match route device native with
+    | c -> c
+    | exception Route.Unroutable msg -> raise (Compile_error msg)
+  in
+  let unoptimized = Route.expand_swaps device routed_swaps in
+  let optimized =
+    if options.post_optimize then begin
+      (* Two-level optimization: first cancel whole CTR SWAPs (a
+         swap-back annihilates the next gate's swap-forward), then
+         expand the survivors to CNOTs and optimize at gate level. *)
+      let swap_level = Optimize.optimize ~device ~cost:options.cost routed_swaps in
+      Optimize.optimize ~device ~cost:options.cost
+        (Route.expand_swaps device swap_level)
+    end
+    else unoptimized
+  in
+  let elapsed_seconds = Sys.time () -. start in
+  let unoptimized_cost = Cost.evaluate options.cost unoptimized in
+  let optimized_cost = Cost.evaluate options.cost optimized in
+  let verification, verification_seconds =
+    verify options.verification options ~route ~native ~unoptimized ~optimized
+      reference
+  in
+  {
+    reference;
+    placement;
+    unoptimized;
+    optimized;
+    unoptimized_cost;
+    optimized_cost;
+    percent_decrease =
+      Cost.percent_decrease ~before:unoptimized_cost ~after:optimized_cost;
+    verification;
+    elapsed_seconds;
+    verification_seconds;
+  }
+
+let extension path =
+  match String.rindex_opt path '.' with
+  | None -> ""
+  | Some i -> String.lowercase_ascii (String.sub path i (String.length path - i))
+
+let parse_file path =
+  let parse_error fmt_name msg =
+    raise (Compile_error (Printf.sprintf "%s: %s parse error: %s" path fmt_name msg))
+  in
+  match extension path with
+  | ".pla" -> (
+    match Qformats.Pla.read_file path with
+    | pla -> Classical pla
+    | exception Qformats.Pla.Parse_error { line; message } ->
+      parse_error "PLA" (Printf.sprintf "line %d: %s" line message))
+  | ".qasm" -> (
+    match Qformats.Qasm.read_file path with
+    | c -> Quantum c
+    | exception Qformats.Qasm.Parse_error { line; message } ->
+      parse_error "QASM" (Printf.sprintf "line %d: %s" line message))
+  | ".qc" -> (
+    match Qformats.Qc.read_file path with
+    | qc -> Quantum qc.Qformats.Qc.circuit
+    | exception Qformats.Qc.Parse_error { line; message } ->
+      parse_error ".qc" (Printf.sprintf "line %d: %s" line message))
+  | ".real" -> (
+    match Qformats.Real.read_file path with
+    | real -> Quantum real.Qformats.Real.circuit
+    | exception Qformats.Real.Parse_error { line; message } ->
+      parse_error ".real" (Printf.sprintf "line %d: %s" line message))
+  | other ->
+    raise
+      (Compile_error
+         (Printf.sprintf "%s: unsupported input extension %S" path other))
+
+let emit_qasm report = Qformats.Qasm.to_string report.optimized
+
+let verification_to_string = function
+  | Verified -> "verified (QMDD)"
+  | Verified_staged -> "verified (QMDD, staged)"
+  | Mismatch -> "MISMATCH"
+  | Budget_exceeded -> "not verified (node budget exceeded)"
+  | Skipped -> "skipped"
+
+let pp_report fmt r =
+  let pr label c cost =
+    let st = Circuit.stats c in
+    Format.fprintf fmt
+      "  %-12s T=%d cnot=%d gates=%d depth=%d t-depth=%d cost=%g@\n" label
+      st.Circuit.t_count st.Circuit.cnot_count st.Circuit.gate_volume
+      (Circuit.depth c) (Circuit.t_depth c) cost
+  in
+  Format.fprintf fmt "compilation report:@\n";
+  pr "unoptimized" r.unoptimized r.unoptimized_cost;
+  pr "optimized" r.optimized r.optimized_cost;
+  Format.fprintf fmt "  improvement  %.2f%%@\n" r.percent_decrease;
+  (match r.placement with
+  | None -> ()
+  | Some a ->
+    let moved =
+      Array.to_list (Array.mapi (fun l p -> (l, p)) a)
+      |> List.filter (fun (l, p) -> l <> p)
+    in
+    Format.fprintf fmt "  placement    %s@\n"
+      (if moved = [] then "identity"
+       else
+         String.concat ", "
+           (List.map (fun (l, p) -> Printf.sprintf "q%d->q%d" l p)
+              (List.filteri (fun i _ -> i < 12) moved))));
+  Format.fprintf fmt "  verification %s (%.3fs)@\n"
+    (verification_to_string r.verification)
+    r.verification_seconds;
+  Format.fprintf fmt "  synthesis    %.3fs@\n" r.elapsed_seconds

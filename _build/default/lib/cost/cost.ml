@@ -1,0 +1,24 @@
+type t = { name : string; evaluate : Circuit.t -> float }
+
+let of_stats ~name f = { name; evaluate = (fun c -> f (Circuit.stats c)) }
+
+let linear ~name ~t_weight ~cnot_weight ~gate_weight =
+  of_stats ~name (fun s ->
+      (t_weight *. float_of_int s.Circuit.t_count)
+      +. (cnot_weight *. float_of_int s.Circuit.cnot_count)
+      +. (gate_weight *. float_of_int s.Circuit.gate_volume))
+
+let custom ~name evaluate = { name; evaluate }
+
+let eqn2 =
+  linear ~name:"eqn2 (0.5t + 0.25c + a)" ~t_weight:0.5 ~cnot_weight:0.25
+    ~gate_weight:1.0
+
+let name c = c.name
+let evaluate c circuit = c.evaluate circuit
+
+let percent_decrease ~before ~after =
+  if before = 0.0 then 0.0 else 100.0 *. (before -. after) /. before
+
+let improves c ~original ~candidate =
+  evaluate c candidate < evaluate c original

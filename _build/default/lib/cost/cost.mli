@@ -1,0 +1,42 @@
+(** Quantum cost functions.
+
+    The paper's Eqn. 2 drives every optimization decision:
+
+    {v q_cost = 0.5 * t + 0.25 * c + a v}
+
+    where [t] counts T and T-dagger gates, [c] counts CNOTs, and [a] is
+    the total gate count.  The tool treats the cost function as a
+    replaceable component — each technology cell library may carry its
+    own weights, linear or not — so this module exposes both the linear
+    constructor and an arbitrary function over circuit statistics. *)
+
+type t
+
+(** [linear ~name ~t_weight ~cnot_weight ~gate_weight] is the linear
+    family of Eqn. 2: [t_weight*t + cnot_weight*c + gate_weight*a]. *)
+val linear :
+  name:string -> t_weight:float -> cnot_weight:float -> gate_weight:float -> t
+
+(** [of_stats ~name f] builds a cost from circuit statistics alone. *)
+val of_stats : name:string -> (Circuit.stats -> float) -> t
+
+(** [custom ~name f] wraps an arbitrary circuit evaluator — e.g. a
+    per-gate fidelity model that needs to see which qubits each gate
+    touches (see {!Calibration.log_fidelity_cost}). *)
+val custom : name:string -> (Circuit.t -> float) -> t
+
+(** Eqn. 2 of the paper: weights 0.5 / 0.25 / 1. *)
+val eqn2 : t
+
+val name : t -> string
+
+(** [evaluate c circuit] is the quantum cost of [circuit]. *)
+val evaluate : t -> Circuit.t -> float
+
+(** [percent_decrease ~before ~after] is the paper's improvement metric,
+    [100 * (before - after) / before]; zero when [before] is zero. *)
+val percent_decrease : before:float -> after:float -> float
+
+(** [improves c ~original ~candidate] holds when the candidate circuit
+    is strictly cheaper. *)
+val improves : t -> original:Circuit.t -> candidate:Circuit.t -> bool

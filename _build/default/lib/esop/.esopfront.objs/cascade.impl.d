@@ -1,0 +1,1 @@
+lib/esop/cascade.ml: Circuit Esop Gate List Qformats

@@ -1,0 +1,1 @@
+lib/esop/cascade.mli: Circuit Esop Qformats

@@ -1,0 +1,1 @@
+lib/esop/esop.ml: Array Format List Qformats

@@ -1,0 +1,1 @@
+lib/esop/esop.mli: Format Qformats

@@ -1,0 +1,41 @@
+let cube_gates ~n_inputs ~target (cube : Esop.cube) =
+  let controls = ref [] and negated = ref [] in
+  for i = 0 to n_inputs - 1 do
+    let bit = 1 lsl (n_inputs - 1 - i) in
+    if cube.Esop.mask land bit <> 0 then begin
+      controls := i :: !controls;
+      if cube.Esop.value land bit = 0 then negated := i :: !negated
+    end
+  done;
+  let inversions = List.rev_map (fun q -> Gate.X q) !negated in
+  List.concat
+    [ inversions; [ Gate.mct (List.rev !controls) target ]; inversions ]
+
+let of_esop (e : Esop.t) =
+  let n = e.Esop.n_inputs in
+  let gates =
+    List.concat_map (cube_gates ~n_inputs:n ~target:n) e.Esop.cubes
+  in
+  Circuit.make ~n:(n + 1) gates
+
+let of_truth_table table = of_esop (Esop.of_truth_table table)
+
+let of_pla pla =
+  let n = pla.Qformats.Pla.n_inputs in
+  let m = pla.Qformats.Pla.n_outputs in
+  let gates =
+    List.concat
+      (List.init m (fun j ->
+           let e = Esop.of_pla pla ~output:j in
+           List.concat_map
+             (cube_gates ~n_inputs:n ~target:(n + j))
+             e.Esop.cubes))
+  in
+  Circuit.make ~n:(n + m) gates
+
+type embedding = { wires : int; ancilla : int; garbage : int }
+
+let embedding_of_pla pla =
+  let n = pla.Qformats.Pla.n_inputs in
+  let m = pla.Qformats.Pla.n_outputs in
+  { wires = n + m; ancilla = m; garbage = n }

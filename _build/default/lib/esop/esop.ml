@@ -1,0 +1,195 @@
+type cube = { mask : int; value : int }
+type t = { n_inputs : int; cubes : cube list }
+
+let make ~n_inputs cubes =
+  if n_inputs <= 0 || n_inputs > 20 then
+    invalid_arg "Esop.make: supported input counts are 1..20";
+  let space = 1 lsl n_inputs in
+  List.iter
+    (fun c ->
+      if c.mask < 0 || c.mask >= space then invalid_arg "Esop.make: mask overflow";
+      if c.value land lnot c.mask <> 0 then
+        invalid_arg "Esop.make: value outside mask")
+    cubes;
+  { n_inputs; cubes }
+
+let cube_count e = List.length e.cubes
+let eval_cube c assignment = assignment land c.mask = c.value
+
+let eval e assignment =
+  List.fold_left (fun acc c -> acc <> eval_cube c assignment) false e.cubes
+
+let truth_table e = Array.init (1 lsl e.n_inputs) (eval e)
+
+let n_of_table table =
+  let len = Array.length table in
+  if len < 2 || len land (len - 1) <> 0 then
+    invalid_arg "Esop: truth table length must be a power of two >= 2";
+  let rec log2 v acc = if v = 1 then acc else log2 (v / 2) (acc + 1) in
+  log2 len 0
+
+let of_minterms table =
+  let n = n_of_table table in
+  let full = (1 lsl n) - 1 in
+  let cubes = ref [] in
+  Array.iteri
+    (fun k one -> if one then cubes := { mask = full; value = k } :: !cubes)
+    table;
+  { n_inputs = n; cubes = List.rev !cubes }
+
+let pprm table =
+  let n = n_of_table table in
+  let anf = Array.map (fun b -> if b then 1 else 0) table in
+  (* Moebius (subset XOR) transform, one butterfly stage per variable. *)
+  for bit = 0 to n - 1 do
+    let stride = 1 lsl bit in
+    Array.iteri
+      (fun k _ -> if k land stride <> 0 then anf.(k) <- anf.(k) lxor anf.(k lxor stride))
+      anf
+  done;
+  let cubes = ref [] in
+  Array.iteri
+    (fun k coeff -> if coeff = 1 then cubes := { mask = k; value = k } :: !cubes)
+    anf;
+  { n_inputs = n; cubes = List.rev !cubes }
+
+let popcount v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + (v land 1)) in
+  go v 0
+
+(* One simplification pass over all cube pairs.  Every rule firing
+   strictly decreases the measure (cube count, total literal count) in
+   lexicographic order — cancellation and merging drop a cube, the
+   distance-2 exorlink keeps the count but removes two literals — so
+   the enclosing fixed-point loop terminates.  Returns [None] when
+   nothing fired. *)
+let simplify_once cubes =
+  let arr = Array.of_list cubes in
+  let len = Array.length arr in
+  let alive = Array.make len true in
+  let replacements = ref [] in
+  let fired = ref false in
+  let kill i j repl =
+    alive.(i) <- false;
+    alive.(j) <- false;
+    replacements := repl @ !replacements;
+    fired := true
+  in
+  (* xC xor C = x'C when one mask extends the other by one variable and
+     they agree elsewhere. *)
+  let try_absorb big small =
+    let extra = big.mask lxor small.mask in
+    if
+      popcount extra = 1
+      && big.mask land small.mask = small.mask
+      && big.value land small.mask = small.value
+    then Some { mask = big.mask; value = big.value lxor extra }
+    else None
+  in
+  for i = 0 to len - 1 do
+    for j = i + 1 to len - 1 do
+      if alive.(i) && alive.(j) then begin
+        let a = arr.(i) and b = arr.(j) in
+        if a = b then
+          (* C xor C = 0. *)
+          kill i j []
+        else if a.mask = b.mask && popcount (a.value lxor b.value) = 1 then begin
+          (* xC xor x'C = C. *)
+          let bit = a.value lxor b.value in
+          kill i j
+            [ { mask = a.mask land lnot bit; value = a.value land lnot bit } ]
+        end
+        else if a.mask = b.mask && popcount (a.value lxor b.value) = 2 then begin
+          (* Distance-2 exorlink: x y C xor x' y' C = x' C xor y C —
+             same cube count, two literals fewer. *)
+          let diff = a.value lxor b.value in
+          let bit_i = diff land -diff in
+          let bit_j = diff lxor bit_i in
+          kill i j
+            [
+              (* drop literal j, complement literal i (relative to a) *)
+              {
+                mask = a.mask land lnot bit_j;
+                value = (a.value lxor bit_i) land lnot bit_j;
+              };
+              (* drop literal i, keep literal j as in a *)
+              { mask = a.mask land lnot bit_i; value = a.value land lnot bit_i };
+            ]
+        end
+        else
+          match try_absorb a b with
+          | Some merged -> kill i j [ merged ]
+          | None -> (
+            match try_absorb b a with
+            | Some merged -> kill i j [ merged ]
+            | None -> ())
+      end
+    done
+  done;
+  if not !fired then None
+  else begin
+    let kept = ref !replacements in
+    for i = len - 1 downto 0 do
+      if alive.(i) then kept := arr.(i) :: !kept
+    done;
+    Some !kept
+  end
+
+let minimize e =
+  let rec loop cubes =
+    match simplify_once cubes with
+    | Some cubes' -> loop cubes'
+    | None -> cubes
+  in
+  { e with cubes = loop e.cubes }
+
+let of_truth_table table =
+  let a = minimize (of_minterms table) in
+  let b = minimize (pprm table) in
+  if cube_count b <= cube_count a then b else a
+
+let of_pla pla ~output =
+  if output < 0 || output >= pla.Qformats.Pla.n_outputs then
+    invalid_arg "Esop.of_pla: output out of range";
+  match pla.Qformats.Pla.kind with
+  | Qformats.Pla.Esop ->
+    let n = pla.Qformats.Pla.n_inputs in
+    let cubes =
+      List.filter_map
+        (fun cube ->
+          if not cube.Qformats.Pla.outputs.(output) then None
+          else begin
+            let mask = ref 0 and value = ref 0 in
+            Array.iteri
+              (fun i lit ->
+                let bit = 1 lsl (n - 1 - i) in
+                match lit with
+                | Qformats.Pla.One ->
+                  mask := !mask lor bit;
+                  value := !value lor bit
+                | Qformats.Pla.Zero -> mask := !mask lor bit
+                | Qformats.Pla.Dash -> ())
+              cube.Qformats.Pla.inputs;
+            Some { mask = !mask; value = !value }
+          end)
+        pla.Qformats.Pla.cubes
+    in
+    make ~n_inputs:n cubes
+  | Qformats.Pla.Sop ->
+    of_truth_table (Qformats.Pla.truth_table pla ~output)
+
+let pp fmt e =
+  Format.fprintf fmt "esop over %d inputs, %d cubes:" e.n_inputs
+    (cube_count e);
+  List.iter
+    (fun c ->
+      Format.fprintf fmt " ";
+      for i = 0 to e.n_inputs - 1 do
+        let bit = 1 lsl (e.n_inputs - 1 - i) in
+        if c.mask land bit = 0 then Format.fprintf fmt "-"
+        else if c.value land bit <> 0 then Format.fprintf fmt "1"
+        else Format.fprintf fmt "0"
+      done)
+    e.cubes
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,1 @@
+lib/mathkit/cx.ml: Complex Float Format Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/mathkit/cx.mli: Complex Format

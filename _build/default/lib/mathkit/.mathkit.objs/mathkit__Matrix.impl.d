@@ -1,0 +1,1 @@
+lib/mathkit/matrix.ml: Array Cx Format List

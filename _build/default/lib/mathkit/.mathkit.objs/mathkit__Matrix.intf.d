@@ -1,0 +1,1 @@
+lib/mathkit/matrix.mli: Cx Format

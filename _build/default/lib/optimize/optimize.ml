@@ -1,0 +1,238 @@
+(* Gate-class views used by the commutation and merge rules. *)
+
+let diagonal_one_qubit = function
+  | Gate.Z q | Gate.S q | Gate.Sdg q | Gate.T q | Gate.Tdg q
+  | Gate.Rz (_, q) | Gate.Phase (_, q) ->
+    Some q
+  | Gate.X _ | Gate.Y _ | Gate.H _ | Gate.Rx _ | Gate.Ry _ | Gate.Cnot _
+  | Gate.Cz _ | Gate.Swap _ | Gate.Toffoli _ | Gate.Mct _ ->
+    None
+
+(* NOT-family gates: a bit flip on [target] controlled by [controls]. *)
+let not_family = function
+  | Gate.X q -> Some ([], q)
+  | Gate.Cnot { control; target } -> Some ([ control ], target)
+  | Gate.Toffoli { c1; c2; target } -> Some ([ c1; c2 ], target)
+  | Gate.Mct { controls; target } -> Some (controls, target)
+  | Gate.Y _ | Gate.Z _ | Gate.H _ | Gate.S _ | Gate.Sdg _ | Gate.T _
+  | Gate.Tdg _ | Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.Phase _ | Gate.Cz _
+  | Gate.Swap _ ->
+    None
+
+let disjoint a b = List.for_all (fun q -> not (List.mem q b)) a
+
+let commutes g h =
+  let sg = Gate.support g and sh = Gate.support h in
+  if disjoint sg sh then true
+  else if Gate.equal g h then true
+  else
+    let diag gate =
+      match gate with
+      | Gate.Z _ | Gate.S _ | Gate.Sdg _ | Gate.T _ | Gate.Tdg _ | Gate.Rz _
+      | Gate.Phase _ | Gate.Cz _ ->
+        true
+      | Gate.X _ | Gate.Y _ | Gate.H _ | Gate.Rx _ | Gate.Ry _ | Gate.Cnot _
+      | Gate.Swap _ | Gate.Toffoli _ | Gate.Mct _ ->
+        false
+    in
+    if diag g && diag h then true
+    else
+      (* A diagonal gate commutes with a NOT-family gate whose target it
+         avoids (the controls only read the bits the diagonal phase
+         depends on); an X on the target commutes with the bit flip;
+         two NOT-family gates commute when neither target is the
+         other's control. *)
+      let diag_vs_not d nf =
+        match (d, not_family nf) with
+        | _, None -> false
+        | gate, Some (_, target) -> (
+          match gate with
+          | Gate.Z _ | Gate.S _ | Gate.Sdg _ | Gate.T _ | Gate.Tdg _
+          | Gate.Rz _ | Gate.Phase _ -> (
+            match diagonal_one_qubit gate with
+            | Some q -> q <> target
+            | None -> false)
+          | Gate.Cz (a, b) -> target <> a && target <> b
+          | Gate.X _ | Gate.Y _ | Gate.H _ | Gate.Rx _ | Gate.Ry _
+          | Gate.Cnot _ | Gate.Swap _ | Gate.Toffoli _ | Gate.Mct _ ->
+            false)
+      in
+      if diag g && diag_vs_not g h then true
+      else if diag h && diag_vs_not h g then true
+      else
+        match (not_family g, not_family h) with
+        | Some (cg, tg), Some (ch, th) ->
+          (not (List.mem tg ch)) && not (List.mem th cg)
+        | (Some _ | None), (Some _ | None) -> false
+
+let same_pair (a, b) (c, d) = (a = c && b = d) || (a = d && b = c)
+
+(* [merge_gates g h]: [g] happens first, [h] second.  All fusion rules
+   used here are between diagonal or same-axis gates, so order does not
+   matter. *)
+let merge_gates g h =
+  let cancel = Some [] in
+  let near_zero theta = abs_float theta < 1e-12 in
+  (* Phase-family fusion: Z, S, Sdg, T, Tdg and Phase all read as
+     diag(1, e^(i theta)), and e^(i a) e^(i b) folds mod 2 pi with no
+     global-phase residue — so T.T = S, S.Z = Sdg, T.Phase(x) =
+     Phase(pi/4 + x), and inverse pairs cancel, all in one rule. *)
+  let phase_fusion () =
+    match (Gate.phase_angle g, Gate.phase_angle h) with
+    | Some (a, qa), Some (b, qb) when qa = qb ->
+      Some
+        (match Gate.phase_gate (a +. b) qa with
+        | None -> []
+        | Some fused -> [ fused ])
+    | (Some _ | None), (Some _ | None) -> None
+  in
+  match phase_fusion () with
+  | Some replacement -> Some replacement
+  | None -> (
+    match (g, h) with
+    | Gate.X a, Gate.X b | Gate.Y a, Gate.Y b | Gate.H a, Gate.H b when a = b
+      ->
+      cancel
+    (* Same-axis rotations add their angles.  The sum is kept unfolded:
+       folding by 2 pi would silently change the global phase
+       (Rz(2 pi) = -I), and the optimizer promises exactness. *)
+    | Gate.Rx (ta, a), Gate.Rx (tb, b) when a = b ->
+      let sum = ta +. tb in
+      if near_zero sum then cancel else Some [ Gate.Rx (sum, a) ]
+    | Gate.Ry (ta, a), Gate.Ry (tb, b) when a = b ->
+      let sum = ta +. tb in
+      if near_zero sum then cancel else Some [ Gate.Ry (sum, a) ]
+    | Gate.Rz (ta, a), Gate.Rz (tb, b) when a = b ->
+      let sum = ta +. tb in
+      if near_zero sum then cancel else Some [ Gate.Rz (sum, a) ]
+    | ( Gate.Cnot { control = c1; target = t1 },
+        Gate.Cnot { control = c2; target = t2 } )
+      when c1 = c2 && t1 = t2 ->
+      cancel
+    | Gate.Cz (a1, b1), Gate.Cz (a2, b2) when same_pair (a1, b1) (a2, b2) ->
+      cancel
+    | Gate.Swap (a1, b1), Gate.Swap (a2, b2) when same_pair (a1, b1) (a2, b2)
+      ->
+      cancel
+    | Gate.Toffoli a, Gate.Toffoli b
+      when a.target = b.target && same_pair (a.c1, a.c2) (b.c1, b.c2) ->
+      cancel
+    | Gate.Mct a, Gate.Mct b
+      when a.target = b.target
+           && List.sort Int.compare a.controls
+              = List.sort Int.compare b.controls ->
+      cancel
+    | _, _ -> None)
+
+let cancel_pass ?(lookback = 50) c =
+  (* [acc] holds processed gates in reverse order (head = most recent).
+     For each incoming gate, scan back through gates it commutes with,
+     looking for a merge partner; the replacement lands at the partner's
+     position, which is sound because the current gate commutes with
+     everything in between. *)
+  let rec try_merge acc g depth =
+    match acc with
+    | [] -> None
+    | h :: earlier ->
+      if depth <= 0 then None
+      else begin
+        match merge_gates h g with
+        | Some replacement -> Some (List.rev_append replacement earlier)
+        | None ->
+          if commutes g h then
+            match try_merge earlier g (depth - 1) with
+            | Some earlier' -> Some (h :: earlier')
+            | None -> None
+          else None
+      end
+  in
+  let step acc g =
+    match try_merge acc g lookback with
+    | Some acc' -> acc'
+    | None -> g :: acc
+  in
+  Circuit.make ~n:(Circuit.n_qubits c)
+    (List.rev (Circuit.fold step [] c))
+
+let rewrite_pass ?device c =
+  let direction_ok ~control ~target =
+    match device with
+    | None -> true
+    | Some d -> Device.allows_cnot d ~control ~target
+  in
+  let rec go gates =
+    match gates with
+    (* Fig. 6 pattern collapse: 4 H around a CNOT are the opposite
+       CNOT.  Only rewrite when the new direction is legal. *)
+    | Gate.H a :: Gate.H b
+      :: Gate.Cnot { control; target }
+      :: Gate.H a' :: Gate.H b' :: rest
+      when a <> b
+           && same_pair (a, b) (control, target)
+           && same_pair (a', b') (control, target)
+           && direction_ok ~control:target ~target:control ->
+      go (Gate.Cnot { control = target; target = control } :: rest)
+    (* H-conjugation: H X H = Z and H Z H = X, exactly. *)
+    | Gate.H a :: Gate.X b :: Gate.H a' :: rest when a = b && a = a' ->
+      go (Gate.Z a :: rest)
+    | Gate.H a :: Gate.Z b :: Gate.H a' :: rest when a = b && a = a' ->
+      go (Gate.X a :: rest)
+    | g :: rest -> g :: go rest
+    | [] -> []
+  in
+  Circuit.make ~n:(Circuit.n_qubits c) (go (Circuit.gates c))
+
+let window_is_identity window =
+  let support =
+    List.sort_uniq Int.compare (List.concat_map Gate.support window)
+  in
+  List.length support <= 3
+  &&
+  let index q =
+    let rec find i = function
+      | [] -> assert false
+      | x :: rest -> if x = q then i else find (i + 1) rest
+    in
+    find 0 support
+  in
+  let compact =
+    Circuit.make ~n:(List.length support) (List.map (Gate.rename index) window)
+  in
+  Mathkit.Matrix.is_identity ~eps:1e-9 (Sim.unitary compact)
+
+let remove_identity_windows ?(max_window = 6) c =
+  let rec take k = function
+    | rest when k = 0 -> Some ([], rest)
+    | [] -> None
+    | g :: rest -> (
+      match take (k - 1) rest with
+      | Some (window, tail) -> Some (g :: window, tail)
+      | None -> None)
+  in
+  let rec go gates =
+    match gates with
+    | [] -> []
+    | g :: rest ->
+      let rec try_window w =
+        if w < 2 then None
+        else
+          match take w gates with
+          | Some (window, tail) when window_is_identity window -> Some tail
+          | Some _ | None -> try_window (w - 1)
+      in
+      (match try_window max_window with
+      | Some tail -> go tail
+      | None -> g :: go rest)
+  in
+  Circuit.make ~n:(Circuit.n_qubits c) (go (Circuit.gates c))
+
+let optimize ?device ?(cost = Cost.eqn2) c =
+  let pass circuit =
+    circuit |> cancel_pass |> rewrite_pass ?device |> remove_identity_windows
+  in
+  let rec loop best best_cost =
+    let candidate = pass best in
+    let candidate_cost = Cost.evaluate cost candidate in
+    if candidate_cost < best_cost then loop candidate candidate_cost else best
+  in
+  loop c (Cost.evaluate cost c)

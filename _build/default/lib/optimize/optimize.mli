@@ -1,0 +1,50 @@
+(** Local circuit optimization driven by the quantum cost function
+    (Section 4, items 5 and 6 of the paper's procedure list).
+
+    Two families of transformations, both applied recursively until the
+    cost stops decreasing:
+
+    - removing gate partitions that equal the identity — adjacent
+      inverse pairs (modulo commutation through intervening gates) and
+      short windows whose product is the identity matrix;
+    - rewriting gate partitions with cheaper logically-identical
+      templates — diagonal-gate fusion (T.T = S, S.S = Z, ...),
+      H-conjugation identities (H X H = Z), and collapsing Fig. 6
+      reversal patterns back into bare CNOTs.
+
+    Every pass preserves the circuit's unitary exactly (not merely up to
+    global phase) and never increases the cost.  When a [device] is
+    supplied, rewrites never introduce a CNOT the coupling map forbids,
+    so optimizing a mapped circuit keeps it mapped. *)
+
+(** [commutes g h] is a sound (not complete) commutation test: [true]
+    means the gates provably commute.  Covers disjoint supports,
+    diagonal gates, control sharing, and target sharing of
+    NOT-family gates. *)
+val commutes : Gate.t -> Gate.t -> bool
+
+(** [merge_gates g h] combines the earlier gate [g] with the later gate
+    [h] when they act on the same qubits: [Some []] when they cancel,
+    [Some [f]] when they fuse into one cheaper gate, [None] otherwise. *)
+val merge_gates : Gate.t -> Gate.t -> Gate.t list option
+
+(** [cancel_pass ?lookback c] sweeps once, cancelling or fusing each
+    gate with an earlier gate when everything between commutes with it.
+    [lookback] bounds the scan depth (default 50). *)
+val cancel_pass : ?lookback:int -> Circuit.t -> Circuit.t
+
+(** [rewrite_pass ?device c] applies peephole templates: Fig. 6
+    reversal collapse (only when the resulting CNOT direction is legal
+    on [device], or unconditionally without one) and H-conjugation
+    rewrites. *)
+val rewrite_pass : ?device:Device.t -> Circuit.t -> Circuit.t
+
+(** [remove_identity_windows ?max_window c] deletes contiguous gate
+    windows (up to [max_window] gates, default 6, spanning at most 3
+    qubits) whose product is exactly the identity. *)
+val remove_identity_windows : ?max_window:int -> Circuit.t -> Circuit.t
+
+(** [optimize ?device ?cost c] runs all passes to a fixed point of the
+    cost function (default {!Cost.eqn2}) and returns the cheapest
+    circuit seen.  Guaranteed not to cost more than the input. *)
+val optimize : ?device:Device.t -> ?cost:Cost.t -> Circuit.t -> Circuit.t

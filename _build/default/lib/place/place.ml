@@ -1,0 +1,212 @@
+type assignment = int array
+
+let unreachable = max_int / 4
+
+let distances d =
+  let n = Device.n_qubits d in
+  let all = Array.make_matrix n n unreachable in
+  for src = 0 to n - 1 do
+    let dist = all.(src) in
+    dist.(src) <- 0;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let q = Queue.pop queue in
+      List.iter
+        (fun nb ->
+          if dist.(nb) = unreachable then begin
+            dist.(nb) <- dist.(q) + 1;
+            Queue.add nb queue
+          end)
+        (Device.neighbors d q)
+    done
+  done;
+  all
+
+let interaction_weights c =
+  let weights = Hashtbl.create 32 in
+  Circuit.iter
+    (fun g ->
+      match g with
+      | Gate.Cnot { control; target } ->
+        let key = (min control target, max control target) in
+        Hashtbl.replace weights key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt weights key))
+      | Gate.X _ | Gate.Y _ | Gate.Z _ | Gate.H _ | Gate.S _ | Gate.Sdg _
+      | Gate.T _ | Gate.Tdg _ | Gate.Rx _ | Gate.Ry _ | Gate.Rz _
+      | Gate.Phase _ | Gate.Cz _ | Gate.Swap _ | Gate.Toffoli _ | Gate.Mct _
+        ->
+        ())
+    c;
+  Hashtbl.fold (fun key w acc -> (key, w) :: acc) weights []
+  |> List.sort (fun (_, w1) (_, w2) -> Int.compare w2 w1)
+
+let cost_of_weights dist weights a =
+  List.fold_left
+    (fun acc ((x, y), w) ->
+      let hops = dist.(a.(x)).(a.(y)) in
+      acc + (w * max 0 (hops - 1)))
+    0 weights
+
+let estimate d c a = cost_of_weights (distances d) (interaction_weights c) a
+
+let identity d = Array.init (Device.n_qubits d) (fun q -> q)
+
+let is_valid d a =
+  let n = Device.n_qubits d in
+  Array.length a = n
+  &&
+  let seen = Array.make n false in
+  Array.for_all
+    (fun p ->
+      p >= 0 && p < n
+      &&
+      if seen.(p) then false
+      else begin
+        seen.(p) <- true;
+        true
+      end)
+    a
+
+(* Greedy seeding: process logical qubits in order of total interaction
+   weight; put the heaviest pair on the physical pair with the densest
+   neighborhoods, then repeatedly place the unplaced logical qubit with
+   the strongest ties to already-placed ones on the free physical qubit
+   minimizing its weighted distance to them. *)
+let greedy d weights =
+  let n = Device.n_qubits d in
+  let dist = distances d in
+  let logical_of_physical = Array.make n (-1) in
+  let physical_of_logical = Array.make n (-1) in
+  let free_physical p = logical_of_physical.(p) = -1 in
+  let place l p =
+    physical_of_logical.(l) <- p;
+    logical_of_physical.(p) <- l
+  in
+  let tie l =
+    (* Weighted distance of logical [l] to its placed partners from a
+       candidate physical position. *)
+    fun p ->
+      List.fold_left
+        (fun acc ((x, y), w) ->
+          let other = if x = l then y else if y = l then x else -1 in
+          if other >= 0 && physical_of_logical.(other) >= 0 then
+            acc + (w * dist.(p).(physical_of_logical.(other)))
+          else acc)
+        0 weights
+  in
+  let best_free score =
+    let best = ref (-1) and best_score = ref max_int in
+    for p = 0 to n - 1 do
+      if free_physical p then begin
+        let s = score p in
+        if s < !best_score then begin
+          best_score := s;
+          best := p
+        end
+      end
+    done;
+    !best
+  in
+  (* Seed with the heaviest interacting pair on a coupled physical pair
+     of maximal degree. *)
+  (match weights with
+  | ((l1, l2), _) :: _ ->
+    let best = ref None and best_deg = ref (-1) in
+    List.iter
+      (fun (p1, p2) ->
+        let deg =
+          List.length (Device.neighbors d p1) + List.length (Device.neighbors d p2)
+        in
+        if deg > !best_deg then begin
+          best_deg := deg;
+          best := Some (p1, p2)
+        end)
+      (Device.couplings d);
+    (match !best with
+    | Some (p1, p2) ->
+      place l1 p1;
+      place l2 p2
+    | None -> ())
+  | [] -> ());
+  (* Place remaining interacting logical qubits by strongest ties. *)
+  let interacting =
+    List.concat_map (fun ((x, y), _) -> [ x; y ]) weights
+    |> List.sort_uniq Int.compare
+  in
+  List.iter
+    (fun l ->
+      if physical_of_logical.(l) = -1 then
+        match best_free (tie l) with
+        | -1 -> ()
+        | p -> place l p)
+    interacting;
+  (* Fill the rest with the identity-ish completion. *)
+  for l = 0 to n - 1 do
+    if physical_of_logical.(l) = -1 then
+      match best_free (fun p -> abs (p - l)) with
+      | -1 -> ()
+      | p -> place l p
+  done;
+  physical_of_logical
+
+(* Pairwise-exchange local search to a fixed point (bounded passes). *)
+let improve dist weights a0 =
+  let a = Array.copy a0 in
+  let n = Array.length a in
+  let current = ref (cost_of_weights dist weights a) in
+  let involved =
+    List.concat_map (fun ((x, y), _) -> [ x; y ]) weights
+    |> List.sort_uniq Int.compare
+  in
+  let improved = ref true in
+  let passes = ref 0 in
+  while !improved && !passes < 20 do
+    improved := false;
+    incr passes;
+    List.iter
+      (fun l1 ->
+        for l2 = 0 to n - 1 do
+          if l1 <> l2 then begin
+            let p1 = a.(l1) and p2 = a.(l2) in
+            a.(l1) <- p2;
+            a.(l2) <- p1;
+            let cost = cost_of_weights dist weights a in
+            if cost < !current then begin
+              current := cost;
+              improved := true
+            end
+            else begin
+              a.(l1) <- p1;
+              a.(l2) <- p2
+            end
+          end
+        done)
+      involved
+  done;
+  a
+
+let choose d c =
+  let weights = interaction_weights c in
+  if weights = [] then identity d
+  else begin
+    let dist = distances d in
+    let id = identity d in
+    let id_cost = cost_of_weights dist weights id in
+    let candidate = improve dist weights (greedy d weights) in
+    let candidate_cost = cost_of_weights dist weights candidate in
+    if candidate_cost < id_cost then candidate else id
+  end
+
+let apply a c =
+  let n = Array.length a in
+  if Circuit.n_qubits c > n then
+    invalid_arg "Place.apply: circuit wider than the assignment";
+  let seen = Array.make n false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= n || seen.(p) then
+        invalid_arg "Place.apply: not a permutation";
+      seen.(p) <- true)
+    a;
+  Circuit.widen (Circuit.rename (fun q -> a.(q)) (Circuit.widen c n)) n

@@ -1,0 +1,47 @@
+(** Initial qubit placement — the optimization the paper lists as
+    future work ("optimizations ... that aim to minimize cost by
+    finding ideal qubit placement on a QC", Section 6).
+
+    Before routing, logical qubits are assigned to physical qubits so
+    that frequently-interacting pairs sit close together on the
+    coupling graph, shrinking the SWAP paths CTR has to insert.  The
+    estimate minimized is
+    [sum over CNOT(a,b) of (distance(place a, place b) - 1)] — the
+    number of SWAP hops the router would need.
+
+    A placement is a permutation of the device register: entry [q] is
+    the physical qubit carrying logical qubit [q]. *)
+
+type assignment = int array
+
+(** [distances d] is the all-pairs undirected hop-count matrix of the
+    coupling graph ([max_int / 4] marks unreachable pairs). *)
+val distances : Device.t -> int array array
+
+(** [interaction_weights c] counts CNOTs per unordered qubit pair.
+    Only CNOTs contribute: by the time placement runs, the circuit is
+    native (one-qubit gates are placement-invariant). *)
+val interaction_weights : Circuit.t -> ((int * int) * int) list
+
+(** [estimate d c a] is the SWAP-hop estimate of routing [c] on [d]
+    under assignment [a]. *)
+val estimate : Device.t -> Circuit.t -> assignment -> int
+
+(** [identity d] is the do-nothing placement. *)
+val identity : Device.t -> assignment
+
+(** [choose d c] searches for a low-estimate placement: a greedy
+    seeding (most-interacting logical pair onto a coupled physical
+    pair, neighbors nearby) refined by pairwise-exchange local search.
+    Never returns a placement worse than identity. *)
+val choose : Device.t -> Circuit.t -> assignment
+
+(** [is_valid d a] checks that [a] is a permutation of the device
+    register. *)
+val is_valid : Device.t -> assignment -> bool
+
+(** [apply a c] renames every qubit through the assignment; the result
+    lives on the full device register.
+    @raise Invalid_argument when [a] is not a permutation or the
+    circuit is wider than the device. *)
+val apply : assignment -> Circuit.t -> Circuit.t

@@ -1,0 +1,1 @@
+lib/qformats/pla.ml: Array Buffer Fun In_channel List Printf String

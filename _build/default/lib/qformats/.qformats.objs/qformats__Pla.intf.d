@@ -1,0 +1,1 @@
+lib/qformats/pla.mli:

@@ -1,0 +1,1 @@
+lib/qformats/qasm.ml: Buffer Circuit Fun Gate Hashtbl In_channel List Printf String

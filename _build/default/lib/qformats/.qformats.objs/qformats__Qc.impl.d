@@ -1,0 +1,1 @@
+lib/qformats/qc.ml: Array Buffer Circuit Fun Gate Hashtbl In_channel List Printf String

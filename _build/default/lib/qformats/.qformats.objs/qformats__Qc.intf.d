@@ -1,0 +1,1 @@
+lib/qformats/qc.mli: Circuit

@@ -1,0 +1,39 @@
+(** OpenQASM 2.0 subset — the compiler's output language (the paper's
+    final technology-dependent artifact) and an accepted input format.
+
+    Supported statements: the header ([OPENQASM 2.0], [include],
+    [qreg], [creg]), the gate set
+    [x y z h s sdg t tdg rx ry rz u1 p u2 u3 cx cz swap ccx],
+    [barrier] and [measure] (both ignored on input), and [//] comments.
+
+    Interop details accepted on input:
+    - multiple [qreg] declarations; registers are laid out in
+      declaration order onto one global index space;
+    - angle arguments may be arithmetic expressions over numbers and
+      [pi] with [+ - * /] and parentheses, e.g. [rz(3*pi/4) q[0]]
+      (the dialect Qiskit emits);
+    - [u1]/[p] parse to the Phase gate; [u2(phi,lambda)] and
+      [u3(theta,phi,lambda)] parse to their Rz/Ry decompositions (equal
+      up to global phase to the IBM definitions).
+
+    Generalized Toffoli gates have no OpenQASM 2.0 primitive; printing a
+    circuit containing one raises — lower it first. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** [to_string ?creg c] renders the circuit as an OpenQASM 2.0 program
+    with one quantum register [q].  [creg] adds a classical register
+    and final measurements of every qubit (default false).
+    @raise Invalid_argument on generalized Toffoli gates. *)
+val to_string : ?creg:bool -> Circuit.t -> string
+
+(** [of_string s] parses a program produced by {!to_string} (or written
+    by hand in the same subset).  The circuit width is the declared
+    [qreg] size.
+    @raise Parse_error on malformed input. *)
+val of_string : string -> Circuit.t
+
+(** [write_file path c] and [read_file path] are file-level wrappers. *)
+val write_file : ?creg:bool -> string -> Circuit.t -> unit
+
+val read_file : string -> Circuit.t

@@ -1,0 +1,162 @@
+(** Quantum Multiple-valued Decision Diagrams (Miller-Thornton, ISMVL
+    2006; Niemann et al., TCAD 2016).
+
+    A QMDD represents a 2^n-by-2^n transfer matrix as a directed acyclic
+    graph.  A non-terminal node is labelled with a qubit variable and has
+    four outgoing weighted edges, one per quadrant U00, U01, U10, U11 of
+    the matrix it stands for; variable order is x0 (qubit 0) at the root,
+    as in the paper's Fig. 1.
+
+    This implementation is {e quasi-reduced}: every root-to-terminal path
+    visits every variable in order, edges are normalized so the leftmost
+    non-zero edge weight of every node is exactly 1, weights are
+    canonicalized through a tolerance-based value table, and nodes are
+    hash-consed.  Under those rules the representation is canonical:
+    two circuits have pointer-equal QMDDs iff their matrices agree, which
+    is exactly the equivalence check the compiler runs on every output.
+
+    All diagrams belong to a [manager] that owns the unique table and the
+    operation caches.  Diagrams from different managers must not be
+    mixed. *)
+
+type manager
+type edge
+
+(** [create ~n] is a fresh manager for n-qubit matrices.
+    @raise Invalid_argument when [n <= 0]. *)
+val create : n:int -> manager
+
+val n_vars : manager -> int
+
+(** [allocated_nodes m] counts every node ever hash-consed by [m]; a
+    cheap proxy for memory pressure, used by node budgets. *)
+val allocated_nodes : manager -> int
+
+(** Raised by operations when the manager's allocation exceeds the
+    budget given to {!equivalent} / {!of_circuit}. *)
+exception Node_budget_exceeded
+
+(** [identity m] is the 2^n identity matrix. *)
+val identity : manager -> edge
+
+(** [zero m] is the all-zero matrix. *)
+val zero : manager -> edge
+
+(** [gate m g] builds the diagram of gate [g] embedded in the manager's
+    n-qubit register.  Linear in n for every gate in the set (SWAP is
+    built as three CNOTs).
+    @raise Invalid_argument if the gate does not fit the register. *)
+val gate : manager -> Gate.t -> edge
+
+(** [multiply m a b] is the matrix product [a * b]. *)
+val multiply : manager -> edge -> edge -> edge
+
+(** [add m a b] is the matrix sum. *)
+val add : manager -> edge -> edge -> edge
+
+(** [apply m g e] is [gate m g * e]: the circuit extended by one more
+    gate. *)
+val apply : manager -> Gate.t -> edge -> edge
+
+(** [of_circuit ?node_budget m c] folds {!apply} over the circuit,
+    producing the diagram of its transfer matrix.
+    @raise Node_budget_exceeded when the optional budget is exceeded. *)
+val of_circuit : ?node_budget:int -> manager -> Circuit.t -> edge
+
+(** Canonical equality: same node, same weight. *)
+val equal : edge -> edge -> bool
+
+(** [equal_up_to_phase a b]: same node, weights of equal magnitude. *)
+val equal_up_to_phase : edge -> edge -> bool
+
+val is_identity : manager -> edge -> bool
+val is_identity_up_to_phase : manager -> edge -> bool
+
+(** [equivalent ?up_to_phase ?node_budget ?reorder c1 c2] formally
+    verifies two circuits of equal width by building [U1 * U2-dagger]
+    with the alternating scheme (gates of [c1] left-multiplied, adjoint
+    gates of [c2] right-multiplied, interleaved in proportion to circuit
+    length so the intermediate diagram stays near the identity) and
+    testing the result against the identity.  [up_to_phase] defaults to
+    [true].
+
+    [reorder] (default [true]) relabels {e both} circuits by first-use
+    order before building diagrams, so qubits that interact sit next to
+    each other in the variable order; equivalence is invariant under a
+    common relabeling, and clustered orders keep intermediate diagrams
+    exponentially smaller on wide, locally-acting circuits (the
+    96-qubit benchmarks).
+    @raise Node_budget_exceeded when the optional budget is exceeded.
+    @raise Invalid_argument when widths differ. *)
+val equivalent :
+  ?up_to_phase:bool ->
+  ?node_budget:int ->
+  ?reorder:bool ->
+  Circuit.t ->
+  Circuit.t ->
+  bool
+
+(** [adjoint m e] is the conjugate transpose of the represented
+    matrix. *)
+val adjoint : manager -> edge -> edge
+
+(** [trace m e] is the matrix trace, computed along the diagonal
+    quadrants without expanding the matrix. *)
+val trace : manager -> edge -> Mathkit.Cx.t
+
+(** [process_fidelity c1 c2] is |tr(U1-dagger U2)| / 2^n: 1.0 exactly
+    when the circuits agree up to global phase, smaller the further
+    apart they are.  A quantitative companion to {!equivalent} for
+    diagnosing mismatches.
+    @raise Invalid_argument when widths differ. *)
+val process_fidelity : Circuit.t -> Circuit.t -> float
+
+(** [node_count e] is the number of distinct nodes reachable from [e]
+    (terminal included). *)
+val node_count : edge -> int
+
+(** {2 Basis-state simulation}
+
+    A state |psi> prepared from basis state |k> is represented by the
+    rank-1 matrix [U |k><k|].  Rank-1 diagrams factor like vectors and
+    stay compact, making basis-state runs of wide mapped circuits
+    practical where the dense simulator stops at ~12 qubits — the
+    96-qubit Table 8 outputs can be exercised functionally, not just
+    equivalence-checked.
+
+    Basis states are bit arrays (entry [q] = qubit [q]) rather than
+    integers, so registers wider than an OCaml int work too. *)
+
+(** [basis_projector m bits] is |bits><bits|.
+    @raise Invalid_argument when the array width is not [n]. *)
+val basis_projector : manager -> bool array -> edge
+
+(** [run_basis m c ~from] is [U |from><from|]: column [from] of the
+    circuit unitary, everything else zero. *)
+val run_basis : manager -> Circuit.t -> from:bool array -> edge
+
+(** [amplitude m state ~from bits] reads <bits|psi> from a state built
+    by {!run_basis} with the same [from]. *)
+val amplitude : manager -> edge -> from:bool array -> bool array -> Mathkit.Cx.t
+
+(** [classical_outcome m state ~from] is [Some bits] when the state is,
+    up to global phase, exactly the basis state |bits> — the common
+    case for compiled reversible circuits on basis inputs — and [None]
+    for genuine superpositions.  Linear in the diagram depth. *)
+val classical_outcome : manager -> edge -> from:bool array -> bool array option
+
+(** [entry m e ~row ~col] reads one matrix entry by walking the
+    diagram. *)
+val entry : manager -> edge -> row:int -> col:int -> Mathkit.Cx.t
+
+(** [to_matrix m e] expands the diagram into a dense matrix; exponential,
+    for tests and small demos only. *)
+val to_matrix : manager -> edge -> Mathkit.Matrix.t
+
+(** [to_dot m e] renders the diagram in Graphviz DOT, reproducing the
+    style of the paper's Fig. 1 (edge order U00,U01,U10,U11). *)
+val to_dot : manager -> edge -> string
+
+(** [to_ascii m e] is a compact textual rendering: one line per node with
+    its variable and four (weight, child) pairs. *)
+val to_ascii : manager -> edge -> string

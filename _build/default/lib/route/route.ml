@@ -1,0 +1,263 @@
+exception Unroutable of string
+
+let ctr_path d ~control ~target =
+  let n = Device.n_qubits d in
+  if control = target then invalid_arg "Route.ctr_path: control = target";
+  if control < 0 || control >= n || target < 0 || target >= n then
+    invalid_arg "Route.ctr_path: qubit outside device";
+  if Device.coupled d control target then [ control ]
+  else begin
+    (* Breadth-first search from the control over the undirected
+       coupling graph; the goal is any qubit coupled with the target.
+       This is the paper's connectivity tree: visiting a qubit twice
+       would terminate the branch, which is exactly what the [parent]
+       visited-marking does. *)
+    let parent = Array.make n (-2) in
+    parent.(control) <- -1;
+    let queue = Queue.create () in
+    Queue.add control queue;
+    let rec search () =
+      if Queue.is_empty queue then
+        raise
+          (Unroutable
+             (Printf.sprintf "no SWAP path from q%d to q%d on %s" control
+                target (Device.name d)))
+      else
+        let q = Queue.pop queue in
+        if Device.coupled d q target then q
+        else begin
+          List.iter
+            (fun nb ->
+              if parent.(nb) = -2 && nb <> target then begin
+                parent.(nb) <- q;
+                Queue.add nb queue
+              end)
+            (Device.neighbors d q);
+          search ()
+        end
+    in
+    let goal = search () in
+    let rec unwind q acc =
+      if q = control then control :: acc else unwind parent.(q) (q :: acc)
+    in
+    unwind goal []
+  end
+
+(* Dijkstra over the undirected coupling graph.  The cost of a route is
+   the sum of its SWAP-hop weights plus the weight of the final
+   CNOT-adjacency hop onto the target, so cheap landings win over
+   merely short ones. *)
+let ctr_path_weighted d ~weight ~control ~target =
+  let n = Device.n_qubits d in
+  if control = target then invalid_arg "Route.ctr_path_weighted: control = target";
+  if control < 0 || control >= n || target < 0 || target >= n then
+    invalid_arg "Route.ctr_path_weighted: qubit outside device";
+  if Device.coupled d control target then [ control ]
+  else begin
+    let dist = Array.make n infinity in
+    let parent = Array.make n (-1) in
+    let settled = Array.make n false in
+    dist.(control) <- 0.0;
+    let best_goal = ref (-1) and best_goal_cost = ref infinity in
+    let rec step () =
+      (* Smallest unsettled node; linear scan is fine at device sizes. *)
+      let u = ref (-1) and du = ref infinity in
+      for q = 0 to n - 1 do
+        if (not settled.(q)) && dist.(q) < !du then begin
+          u := q;
+          du := dist.(q)
+        end
+      done;
+      if !u >= 0 && !du < !best_goal_cost then begin
+        settled.(!u) <- true;
+        if Device.coupled d !u target then begin
+          let goal_cost = !du +. weight !u target in
+          if goal_cost < !best_goal_cost then begin
+            best_goal_cost := goal_cost;
+            best_goal := !u
+          end
+        end;
+        List.iter
+          (fun nb ->
+            if nb <> target && not settled.(nb) then begin
+              let cand = !du +. weight !u nb in
+              if cand < dist.(nb) then begin
+                dist.(nb) <- cand;
+                parent.(nb) <- !u
+              end
+            end)
+          (Device.neighbors d !u);
+        step ()
+      end
+    in
+    step ();
+    if !best_goal < 0 then
+      raise
+        (Unroutable
+           (Printf.sprintf "no SWAP path from q%d to q%d on %s" control target
+              (Device.name d)))
+    else begin
+      let rec unwind q acc =
+        if q = control then control :: acc else unwind parent.(q) (q :: acc)
+      in
+      unwind !best_goal []
+    end
+  end
+
+let allows d ~control ~target = Device.allows_cnot d ~control ~target
+
+let oriented_cnot d ~control ~target =
+  if allows d ~control ~target then [ Gate.Cnot { control; target } ]
+  else if allows d ~control:target ~target:control then
+    Decompose.cnot_reverse ~control ~target
+  else
+    invalid_arg
+      (Printf.sprintf "Route.oriented_cnot: q%d,q%d not coupled on %s" control
+         target (Device.name d))
+
+let routed_cnot_gates ?path_finder d ~swap ~control ~target =
+  if Device.coupled d control target then oriented_cnot d ~control ~target
+  else
+    let find =
+      match path_finder with
+      | Some f -> f
+      | None -> fun ~control ~target -> ctr_path d ~control ~target
+    in
+    let path = find ~control ~target in
+    let rec swaps = function
+      | a :: (b :: _ as rest) -> swap a b @ swaps rest
+      | [ _ ] | [] -> []
+    in
+    let forward = swaps path in
+    let landing =
+      match List.rev path with
+      | last :: _ -> last
+      | [] -> assert false
+    in
+    let backward = swaps (List.rev path) in
+    List.concat
+      [ forward; oriented_cnot d ~control:landing ~target; backward ]
+
+let route_cnot d ~control ~target =
+  let allows_pred ~control ~target = allows d ~control ~target in
+  let swap a b = Decompose.swap_as_cnots ~allows:allows_pred a b in
+  routed_cnot_gates d ~swap ~control ~target
+
+let route_cnot_swaps d ~control ~target =
+  routed_cnot_gates d ~swap:(fun a b -> [ Gate.Swap (a, b) ]) ~control ~target
+
+let route_with ~route_cnot_gates d c =
+  if Circuit.n_qubits c > Device.n_qubits d then
+    invalid_arg
+      (Printf.sprintf
+         "Route.route_circuit: circuit needs %d qubits but %s has %d"
+         (Circuit.n_qubits c) (Device.name d) (Device.n_qubits d));
+  let route_gate g =
+    match g with
+    | Gate.Cnot { control; target } ->
+      if Device.is_simulator d then [ g ]
+      else route_cnot_gates d ~control ~target
+    | Gate.X _ | Gate.Y _ | Gate.Z _ | Gate.H _ | Gate.S _ | Gate.Sdg _
+    | Gate.T _ | Gate.Tdg _ | Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.Phase _ ->
+      [ g ]
+    | Gate.Cz _ | Gate.Swap _ | Gate.Toffoli _ | Gate.Mct _ ->
+      invalid_arg
+        (Printf.sprintf "Route.route_circuit: non-native gate %s"
+           (Gate.to_string g))
+  in
+  Circuit.map_gates route_gate (Circuit.widen c (Device.n_qubits d))
+
+let route_circuit d c = route_with ~route_cnot_gates:route_cnot d c
+let route_circuit_swaps d c = route_with ~route_cnot_gates:route_cnot_swaps d c
+
+let route_circuit_swaps_weighted d ~weight c =
+  let path_finder ~control ~target =
+    ctr_path_weighted d ~weight ~control ~target
+  in
+  let route_gate d ~control ~target =
+    routed_cnot_gates ~path_finder d
+      ~swap:(fun a b -> [ Gate.Swap (a, b) ])
+      ~control ~target
+  in
+  route_with ~route_cnot_gates:route_gate d c
+
+let expand_swaps d c =
+  let allows_pred ~control ~target = allows d ~control ~target in
+  Circuit.map_gates
+    (function
+      | Gate.Swap (a, b) when not (Device.is_simulator d) ->
+        Decompose.swap_as_cnots ~allows:allows_pred a b
+      | g -> [ g ])
+    c
+
+let route_circuit_tracking d c =
+  if Circuit.n_qubits c > Device.n_qubits d then
+    invalid_arg
+      (Printf.sprintf
+         "Route.route_circuit_tracking: circuit needs %d qubits but %s has %d"
+         (Circuit.n_qubits c) (Device.name d) (Device.n_qubits d));
+  let n = Device.n_qubits d in
+  let phys_of_log = Array.init n (fun q -> q) in
+  let log_of_phys = Array.init n (fun q -> q) in
+  let out = ref [] in
+  let history = ref [] in
+  let emit g = out := g :: !out in
+  let do_swap p1 p2 =
+    emit (Gate.Swap (p1, p2));
+    history := (p1, p2) :: !history;
+    let l1 = log_of_phys.(p1) and l2 = log_of_phys.(p2) in
+    log_of_phys.(p1) <- l2;
+    log_of_phys.(p2) <- l1;
+    phys_of_log.(l1) <- p2;
+    phys_of_log.(l2) <- p1
+  in
+  let route_gate g =
+    match g with
+    | Gate.X _ | Gate.Y _ | Gate.Z _ | Gate.H _ | Gate.S _ | Gate.Sdg _
+    | Gate.T _ | Gate.Tdg _ | Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.Phase _ ->
+      emit (Gate.rename (fun q -> phys_of_log.(q)) g)
+    | Gate.Cnot { control; target } ->
+      if Device.is_simulator d then emit g
+      else begin
+        let pc = phys_of_log.(control) and pt = phys_of_log.(target) in
+        let landing =
+          if Device.coupled d pc pt then pc
+          else begin
+            let path = ctr_path d ~control:pc ~target:pt in
+            let rec walk = function
+              | a :: (b :: _ as rest) ->
+                do_swap a b;
+                walk rest
+              | [ last ] -> last
+              | [] -> assert false
+            in
+            walk path
+          end
+        in
+        List.iter emit (oriented_cnot d ~control:landing ~target:pt)
+      end
+    | Gate.Cz _ | Gate.Swap _ | Gate.Toffoli _ | Gate.Mct _ ->
+      invalid_arg
+        (Printf.sprintf "Route.route_circuit_tracking: non-native gate %s"
+           (Gate.to_string g))
+  in
+  Circuit.iter route_gate (Circuit.widen c n);
+  (* Restore the original layout so the circuit computes the same
+     unitary as the input: undo the swap history. *)
+  List.iter (fun (p1, p2) -> emit (Gate.Swap (p1, p2))) !history;
+  Circuit.make ~n (List.rev !out)
+
+let legal_on d c =
+  Circuit.n_qubits c <= Device.n_qubits d
+  && Circuit.fold
+       (fun ok g ->
+         ok
+         &&
+         match g with
+         | Gate.Cnot { control; target } ->
+           Device.allows_cnot d ~control ~target
+         | Gate.X _ | Gate.Y _ | Gate.Z _ | Gate.H _ | Gate.S _ | Gate.Sdg _
+         | Gate.T _ | Gate.Tdg _ | Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.Phase _ ->
+           true
+         | Gate.Cz _ | Gate.Swap _ | Gate.Toffoli _ | Gate.Mct _ -> false)
+       true c

@@ -1,0 +1,84 @@
+(** Connectivity-tree reroute (CTR) — Section 4, Figs. 4 and 5 of the
+    paper.
+
+    A CNOT whose qubits are not coupled on the device is realized by
+    SWAPping the control along the shortest coupling-graph path until it
+    sits next to the target, executing the CNOT there, and SWAPping back
+    so every other gate keeps its original qubit assignment.  The search
+    tree grows over the {e undirected} coupling graph because a
+    direction-violating CNOT costs only four extra H gates (Fig. 6). *)
+
+(** Raised when no SWAP path exists (disconnected coupling map). *)
+exception Unroutable of string
+
+(** [ctr_path d ~control ~target] is the shortest chain
+    [control; q1; ...; qm] such that consecutive entries are coupled and
+    [qm] is coupled with [target].  When control and target are already
+    coupled the chain is just [[control]] (no SWAPs needed).  Ties break
+    toward lower qubit indices, making routes deterministic.
+    @raise Unroutable when target is unreachable.
+    @raise Invalid_argument when control = target or out of range. *)
+val ctr_path : Device.t -> control:int -> target:int -> int list
+
+(** [ctr_path_weighted d ~weight ~control ~target] generalizes
+    {!ctr_path} to a Dijkstra search: [weight a b >= 0] prices the SWAP
+    hop between coupled qubits [a] and [b] (e.g. a calibration-derived
+    -log fidelity), and the final CNOT hop onto the target is priced
+    too, so the route minimizes total cost rather than hop count.
+    Same contract otherwise. *)
+val ctr_path_weighted :
+  Device.t ->
+  weight:(int -> int -> float) ->
+  control:int ->
+  target:int ->
+  int list
+
+(** [route_circuit_swaps_weighted d ~weight c] is
+    {!route_circuit_swaps} with weighted path selection. *)
+val route_circuit_swaps_weighted :
+  Device.t -> weight:(int -> int -> float) -> Circuit.t -> Circuit.t
+
+(** [route_cnot d ~control ~target] emits a native realization of the
+    CNOT: the gate itself when legal, a Fig. 6 reversal when only the
+    opposite direction exists, and otherwise the full CTR
+    swap-CNOT-swap-back sequence with every emitted CNOT legal on [d]. *)
+val route_cnot : Device.t -> control:int -> target:int -> Gate.t list
+
+(** [route_cnot_swaps d ~control ~target] is {!route_cnot} with the CTR
+    SWAPs kept as {!Gate.Swap} units (each between a coupled pair)
+    instead of being expanded to CNOTs.  Keeping SWAPs whole lets the
+    optimizer cancel a swap-back against the next gate's swap-forward as
+    single gates before expansion. *)
+val route_cnot_swaps : Device.t -> control:int -> target:int -> Gate.t list
+
+(** [route_circuit_swaps d c] maps the circuit keeping CTR SWAPs as
+    units; every SWAP in the result joins a coupled pair, every CNOT is
+    legal on [d].  Same preconditions as {!route_circuit}. *)
+val route_circuit_swaps : Device.t -> Circuit.t -> Circuit.t
+
+(** [expand_swaps d c] replaces each SWAP (which must join a coupled
+    pair) with its CNOT realization, at most 7 gates (Fig. 3 + Fig. 6).
+    [route_circuit d c] = [expand_swaps d (route_circuit_swaps d c)]. *)
+val expand_swaps : Device.t -> Circuit.t -> Circuit.t
+
+(** [route_circuit_tracking d c] is a baseline router for comparison
+    with CTR: instead of swapping the control back after every CNOT, it
+    {e tracks} the logical-to-physical layout as SWAPs accumulate and
+    only restores the original layout once, at the end of the circuit
+    (by replaying the swap history in reverse).  Output is swap-level,
+    like {!route_circuit_swaps}; same preconditions and guarantees
+    (legal CNOTs, SWAPs on coupled pairs, same overall unitary). *)
+val route_circuit_tracking : Device.t -> Circuit.t -> Circuit.t
+
+(** [route_circuit d c] maps a technology-ready circuit (native library
+    only) onto the device: one-qubit gates pass through, CNOTs are
+    routed.  The result is declared on the device's full register.
+    @raise Invalid_argument if [c] contains non-native gates or needs
+    more qubits than the device has.
+    @raise Unroutable as {!ctr_path}. *)
+val route_circuit : Device.t -> Circuit.t -> Circuit.t
+
+(** [legal_on d c] checks the contract the router guarantees: every
+    CNOT of [c] is allowed by the coupling map (and the circuit fits the
+    register).  Used by tests and by the compiler's sanity checks. *)
+val legal_on : Device.t -> Circuit.t -> bool

@@ -1,0 +1,101 @@
+open Mathkit
+
+let basis_state ~n idx =
+  let dim = 1 lsl n in
+  if idx < 0 || idx >= dim then invalid_arg "Sim.basis_state: index out of range";
+  Array.init dim (fun k -> if k = idx then Cx.one else Cx.zero)
+
+let apply_gate ~n g state =
+  let dim = Array.length state in
+  let out = Array.make dim Cx.zero in
+  for idx = 0 to dim - 1 do
+    let amp = state.(idx) in
+    if not (Cx.is_zero ~eps:0.0 amp) then
+      List.iter
+        (fun (w, row) -> out.(row) <- Cx.add out.(row) (Cx.mul w amp))
+        (Gate.apply_basis ~n g idx)
+  done;
+  out
+
+let run c state =
+  let n = Circuit.n_qubits c in
+  if Array.length state <> 1 lsl n then invalid_arg "Sim.run: state length mismatch";
+  Circuit.fold (fun st g -> apply_gate ~n g st) state c
+
+let unitary c =
+  let n = Circuit.n_qubits c in
+  let dim = 1 lsl n in
+  let m = Matrix.create dim dim in
+  for col = 0 to dim - 1 do
+    let out = run c (basis_state ~n col) in
+    Array.iteri (fun row v -> Matrix.set m row col v) out
+  done;
+  m
+
+let equivalent ?(up_to_phase = true) a b =
+  Circuit.n_qubits a = Circuit.n_qubits b
+  &&
+  let ua = unitary a and ub = unitary b in
+  if up_to_phase then Matrix.equal_up_to_global_phase ~eps:1e-7 ua ub
+  else Matrix.approx_equal ~eps:1e-7 ua ub
+
+let classical_gate bits g =
+  let all_set controls = List.for_all (fun c -> bits.(c)) controls in
+  match g with
+  | Gate.X q ->
+    bits.(q) <- not bits.(q);
+    true
+  | Gate.Cnot { control; target } ->
+    if bits.(control) then bits.(target) <- not bits.(target);
+    true
+  | Gate.Toffoli { c1; c2; target } ->
+    if bits.(c1) && bits.(c2) then bits.(target) <- not bits.(target);
+    true
+  | Gate.Mct { controls; target } ->
+    if all_set controls then bits.(target) <- not bits.(target);
+    true
+  | Gate.Swap (a, b) ->
+    let t = bits.(a) in
+    bits.(a) <- bits.(b);
+    bits.(b) <- t;
+    true
+  | Gate.Y _ | Gate.Z _ | Gate.H _ | Gate.S _ | Gate.Sdg _ | Gate.T _
+  | Gate.Tdg _ | Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.Phase _ | Gate.Cz _
+    ->
+    false
+
+let is_classical c =
+  Circuit.fold
+    (fun ok g ->
+      ok
+      &&
+      match g with
+      | Gate.X _ | Gate.Cnot _ | Gate.Toffoli _ | Gate.Mct _ | Gate.Swap _ ->
+        true
+      | Gate.Y _ | Gate.Z _ | Gate.H _ | Gate.S _ | Gate.Sdg _ | Gate.T _
+      | Gate.Tdg _ | Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.Phase _
+      | Gate.Cz _ ->
+        false)
+    true c
+
+let classical_run c input =
+  if Array.length input <> Circuit.n_qubits c then
+    invalid_arg "Sim.classical_run: bit width mismatch";
+  let bits = Array.copy input in
+  let ok = Circuit.fold (fun ok g -> ok && classical_gate bits g) true c in
+  if ok then Some bits else None
+
+let truth_table c ~inputs ~output =
+  let n = Circuit.n_qubits c in
+  let n_in = List.length inputs in
+  let table = Array.make (1 lsl n_in) false in
+  for assignment = 0 to (1 lsl n_in) - 1 do
+    let bits = Array.make n false in
+    List.iteri
+      (fun pos wire -> bits.(wire) <- (assignment lsr (n_in - 1 - pos)) land 1 = 1)
+      inputs;
+    match classical_run c bits with
+    | None -> invalid_arg "Sim.truth_table: circuit is not classical"
+    | Some out -> table.(assignment) <- out.(output)
+  done;
+  table

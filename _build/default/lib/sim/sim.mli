@@ -1,0 +1,46 @@
+(** Dense reference simulator.
+
+    Exponential in qubit count; intended for up to ~12 qubits.  It is the
+    independent oracle used by the test suite to validate the QMDD
+    engine and every compiler transformation, and by the ESOP front-end
+    tests to check realized truth tables.
+
+    For purely classical (reversible NOT/CNOT/Toffoli/MCT/SWAP) circuits,
+    {!classical_run} evaluates a single basis state in linear time and
+    works at any width, including the 96-qubit benchmarks. *)
+
+(** [basis_state ~n idx] is the computational basis vector |idx> where
+    qubit 0 is the most significant bit of [idx]. *)
+val basis_state : n:int -> int -> Mathkit.Cx.t array
+
+(** [apply_gate ~n g state] applies one gate to a state vector of length
+    2^n. *)
+val apply_gate : n:int -> Gate.t -> Mathkit.Cx.t array -> Mathkit.Cx.t array
+
+(** [run c state] applies the whole circuit. *)
+val run : Circuit.t -> Mathkit.Cx.t array -> Mathkit.Cx.t array
+
+(** [unitary c] is the full 2^n transfer matrix of the circuit. *)
+val unitary : Circuit.t -> Mathkit.Matrix.t
+
+(** [equivalent ?up_to_phase a b] compares the transfer matrices of two
+    circuits of the same width.  [up_to_phase] defaults to [true] since
+    synthesis may change global phase. *)
+val equivalent : ?up_to_phase:bool -> Circuit.t -> Circuit.t -> bool
+
+(** [classical_run c bits] threads a classical bit assignment through a
+    reversible circuit.  Returns [None] when the circuit contains a gate
+    without classical semantics (H, S, T, ...; Z-like phases are
+    classically invisible and rejected too, to keep the result honest). *)
+val classical_run : Circuit.t -> bool array -> bool array option
+
+(** [is_classical c] holds when {!classical_run} would succeed. *)
+val is_classical : Circuit.t -> bool
+
+(** [truth_table c ~inputs ~output] evaluates a reversible circuit as a
+    switching function: for each assignment of the [inputs] wires (other
+    wires start at 0), records the final value of the [output] wire.
+    Result bit [k] is the output for input assignment [k], where the
+    first listed input is the most significant bit of [k].
+    @raise Invalid_argument if the circuit is not classical. *)
+val truth_table : Circuit.t -> inputs:int list -> output:int -> bool array

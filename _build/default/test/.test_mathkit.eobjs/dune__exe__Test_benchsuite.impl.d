@@ -1,0 +1,1 @@
+test/test_benchsuite.ml: Alcotest Array Benchsuite Circuit Compiler Device List Mathkit Sim String

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Circuit Decompose Gate List Mathkit QCheck2 QCheck_alcotest Sim Testutil

@@ -1,0 +1,1 @@
+test/test_classics.ml: Alcotest Array Benchsuite Circuit Compiler Cx Device List Mathkit Matrix Printf QCheck2 QCheck_alcotest Route Sim

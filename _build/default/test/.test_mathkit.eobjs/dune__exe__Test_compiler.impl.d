@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Calibration Circuit Compiler Device Filename Format Gate List Printf QCheck2 QCheck_alcotest Qformats Qmdd Route Sim String Sys Testutil Unix

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Circuit Cost Gate QCheck2 QCheck_alcotest Testutil

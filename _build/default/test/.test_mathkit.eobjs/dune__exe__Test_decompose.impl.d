@@ -1,0 +1,1 @@
+test/test_decompose.ml: Alcotest Array Circuit Decompose Gate List Mathkit Printf QCheck2 QCheck_alcotest Sim Testutil

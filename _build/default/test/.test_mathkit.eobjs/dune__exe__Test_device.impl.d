@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Circuit Compiler Device Gate List QCheck2 QCheck_alcotest Route

@@ -1,0 +1,1 @@
+test/test_esop.ml: Alcotest Array Cascade Circuit Esop List QCheck2 QCheck_alcotest Qformats Sim

@@ -1,0 +1,1 @@
+test/test_fidelity.ml: Alcotest Calibration Circuit Compiler Cost Device Gate List Optimize QCheck2 QCheck_alcotest Route Sim Testutil

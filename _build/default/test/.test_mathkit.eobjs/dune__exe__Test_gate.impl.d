@@ -1,0 +1,1 @@
+test/test_gate.ml: Alcotest Cx Gate List Mathkit Matrix Printf QCheck2 QCheck_alcotest Testutil

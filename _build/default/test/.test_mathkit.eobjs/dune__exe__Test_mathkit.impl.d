@@ -1,0 +1,1 @@
+test/test_mathkit.ml: Alcotest Cx List Mathkit Matrix Printf QCheck2 QCheck_alcotest

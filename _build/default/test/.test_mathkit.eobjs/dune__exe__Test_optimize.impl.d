@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Circuit Cost Device Gate List Mathkit Optimize Printf QCheck2 QCheck_alcotest Route Sim String Testutil

@@ -1,0 +1,1 @@
+test/test_place.ml: Alcotest Array Circuit Compiler Device Gate List Place QCheck2 QCheck_alcotest Route Testutil

@@ -1,0 +1,1 @@
+test/test_qformats.ml: Alcotest Array Circuit Filename Fun Gate List Mathkit QCheck2 QCheck_alcotest Qformats Sim String Sys Testutil

@@ -1,0 +1,1 @@
+test/test_qmdd.ml: Alcotest Array Circuit Compiler Cx Device Gate List Mathkit Matrix Printf QCheck2 QCheck_alcotest Qmdd Sim String Testutil

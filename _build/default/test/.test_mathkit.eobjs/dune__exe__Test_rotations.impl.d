@@ -1,0 +1,1 @@
+test/test_rotations.ml: Alcotest Circuit Compiler Cx Decompose Device Gate List Mathkit Matrix Optimize QCheck2 QCheck_alcotest Qformats Qmdd Route Sim Testutil

@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Circuit Device Gate List QCheck2 QCheck_alcotest Qmdd Route Sim Testutil

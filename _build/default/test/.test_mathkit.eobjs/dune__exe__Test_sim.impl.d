@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Circuit Cx Gate List Mathkit Matrix QCheck2 QCheck_alcotest Sim Testutil

@@ -1,0 +1,192 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sample =
+  Circuit.make ~n:3
+    [
+      Gate.H 0;
+      Gate.T 1;
+      Gate.Cnot { control = 0; target = 1 };
+      Gate.Tdg 1;
+      Gate.Cnot { control = 0; target = 2 };
+      Gate.Toffoli { c1 = 0; c2 = 1; target = 2 };
+    ]
+
+let test_stats () =
+  let s = Circuit.stats sample in
+  check_int "t_count" 2 s.Circuit.t_count;
+  check_int "cnot_count" 2 s.Circuit.cnot_count;
+  check_int "gate_volume" 6 s.Circuit.gate_volume
+
+let test_make_validates () =
+  Alcotest.check_raises "gate outside register"
+    (Invalid_argument "Circuit.make: gate H q5 outside 3-qubit register")
+    (fun () -> ignore (Circuit.make ~n:3 [ Gate.H 5 ]));
+  Alcotest.check_raises "zero qubits"
+    (Invalid_argument "Circuit.make: need at least one qubit") (fun () ->
+      ignore (Circuit.make ~n:0 []))
+
+let test_of_gates_infers_width () =
+  let c = Circuit.of_gates [ Gate.Cnot { control = 4; target = 1 } ] in
+  check_int "inferred width" 5 (Circuit.n_qubits c);
+  check_int "empty width" 1 (Circuit.n_qubits (Circuit.of_gates []))
+
+let test_concat_inverse () =
+  let c = Circuit.concat sample (Circuit.inverse sample) in
+  check_int "length doubles" 12 (Circuit.gate_count c);
+  check_bool "round trip is identity" true
+    (Mathkit.Matrix.is_identity (Sim.unitary c))
+
+let test_widen_rename () =
+  let w = Circuit.widen sample 6 in
+  check_int "widened" 6 (Circuit.n_qubits w);
+  Alcotest.check_raises "cannot shrink"
+    (Invalid_argument "Circuit.widen: cannot shrink") (fun () ->
+      ignore (Circuit.widen sample 2));
+  let r = Circuit.rename (fun q -> q + 2) sample in
+  check_int "renamed width" 5 (Circuit.n_qubits r);
+  check_bool "renamed first gate" true
+    (List.hd (Circuit.gates r) = Gate.H 2)
+
+let test_native_check () =
+  check_bool "sample has a Toffoli" false (Circuit.uses_only_native sample);
+  let native = Circuit.make ~n:2 [ Gate.H 0; Gate.Cnot { control = 0; target = 1 } ] in
+  check_bool "native circuit" true (Circuit.uses_only_native native);
+  check_int "max arity" 3 (Circuit.max_gate_arity sample)
+
+let test_map_gates () =
+  (* Replace every H with X-Z-X-Z (not equivalent; just exercising the
+     structural rewrite). *)
+  let c =
+    Circuit.map_gates
+      (function
+        | Gate.H q -> [ Gate.X q; Gate.Z q; Gate.X q; Gate.Z q ]
+        | g -> [ g ])
+      sample
+  in
+  check_int "expanded count" 9 (Circuit.gate_count c)
+
+let test_depth () =
+  check_int "empty depth" 0 (Circuit.depth (Circuit.empty 3));
+  (* H0 and H1 run in parallel; the CNOT joins them. *)
+  let c =
+    Circuit.make ~n:2 [ Gate.H 0; Gate.H 1; Gate.Cnot { control = 0; target = 1 } ]
+  in
+  check_int "parallel then join" 2 (Circuit.depth c);
+  (* A serial chain on one qubit. *)
+  let serial = Circuit.make ~n:1 [ Gate.H 0; Gate.T 0; Gate.H 0 ] in
+  check_int "serial chain" 3 (Circuit.depth serial)
+
+let test_t_depth () =
+  (* Two T gates on different qubits form one T layer; a T after a CNOT
+     joining them forms a second. *)
+  let c =
+    Circuit.make ~n:2
+      [ Gate.T 0; Gate.T 1; Gate.Cnot { control = 0; target = 1 }; Gate.T 1 ]
+  in
+  check_int "t-depth 2" 2 (Circuit.t_depth c);
+  check_int "no T gates" 0
+    (Circuit.t_depth (Circuit.make ~n:2 [ Gate.H 0; Gate.H 1 ]));
+  (* The 15-gate Toffoli network has T-depth <= T-count. *)
+  let toffoli =
+    Circuit.make ~n:3 (Decompose.toffoli_to_clifford_t ~c1:0 ~c2:1 ~target:2)
+  in
+  check_bool "toffoli t-depth below t-count" true
+    (Circuit.t_depth toffoli < Circuit.t_count toffoli
+    && Circuit.t_depth toffoli > 0)
+
+let test_layers () =
+  let c =
+    Circuit.make ~n:3
+      [ Gate.H 0; Gate.H 1; Gate.Cnot { control = 0; target = 1 }; Gate.T 2 ]
+  in
+  let layers = Circuit.layers c in
+  check_int "layer count = depth" (Circuit.depth c) (List.length layers);
+  check_bool "first layer parallel" true
+    (List.hd layers = [ Gate.H 0; Gate.H 1; Gate.T 2 ]);
+  check_bool "second layer" true
+    (List.nth layers 1 = [ Gate.Cnot { control = 0; target = 1 } ]);
+  check_bool "empty circuit" true (Circuit.layers (Circuit.empty 2) = [])
+
+let prop_layers_valid_schedule =
+  QCheck2.Test.make ~name:"layers form a valid parallel schedule" ~count:60
+    (Testutil.gen_circuit 4)
+    (fun c ->
+      let layers = Circuit.layers c in
+      List.length layers = Circuit.depth c
+      && List.for_all
+           (fun layer ->
+             (* Gates within a layer are pairwise disjoint. *)
+             let rec disjoint_all = function
+               | [] -> true
+               | g :: rest ->
+                 List.for_all
+                   (fun h ->
+                     List.for_all
+                       (fun q -> not (List.mem q (Gate.support h)))
+                       (Gate.support g))
+                   rest
+                 && disjoint_all rest
+             in
+             disjoint_all layer)
+           layers
+      && List.length (List.concat layers) = Circuit.gate_count c
+      (* Flattening the schedule is equivalent to the circuit. *)
+      && Sim.equivalent ~up_to_phase:false c
+           (Circuit.make ~n:(Circuit.n_qubits c) (List.concat layers)))
+
+let prop_depth_bounds =
+  QCheck2.Test.make ~name:"depth between volume/n and volume" ~count:100
+    (Testutil.gen_circuit 4)
+    (fun c ->
+      let d = Circuit.depth c in
+      let v = Circuit.gate_count c in
+      d <= v && (v = 0 || d >= (v + 3) / 4) && Circuit.t_depth c <= d)
+
+let prop_inverse_involutive =
+  QCheck2.Test.make ~name:"inverse involutive" ~count:100
+    (Testutil.gen_circuit 4) (fun c ->
+      Circuit.equal c (Circuit.inverse (Circuit.inverse c)))
+
+let prop_inverse_cancels =
+  QCheck2.Test.make ~name:"c . inverse c = identity (simulated)" ~count:40
+    (Testutil.gen_circuit ~max_gates:12 3) (fun c ->
+      Mathkit.Matrix.is_identity ~eps:1e-7
+        (Sim.unitary (Circuit.concat c (Circuit.inverse c))))
+
+let prop_stats_additive =
+  QCheck2.Test.make ~name:"stats additive under concat" ~count:100
+    (QCheck2.Gen.pair (Testutil.gen_circuit 4) (Testutil.gen_circuit 4))
+    (fun (a, b) ->
+      let sa = Circuit.stats a
+      and sb = Circuit.stats b
+      and sc = Circuit.stats (Circuit.concat a b) in
+      sc.Circuit.t_count = sa.Circuit.t_count + sb.Circuit.t_count
+      && sc.Circuit.cnot_count = sa.Circuit.cnot_count + sb.Circuit.cnot_count
+      && sc.Circuit.gate_volume = sa.Circuit.gate_volume + sb.Circuit.gate_volume)
+
+let () =
+  Alcotest.run "circuit"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "validation" `Quick test_make_validates;
+          Alcotest.test_case "of_gates" `Quick test_of_gates_infers_width;
+          Alcotest.test_case "concat/inverse" `Quick test_concat_inverse;
+          Alcotest.test_case "widen/rename" `Quick test_widen_rename;
+          Alcotest.test_case "native check" `Quick test_native_check;
+          Alcotest.test_case "map_gates" `Quick test_map_gates;
+          Alcotest.test_case "depth" `Quick test_depth;
+          Alcotest.test_case "t-depth" `Quick test_t_depth;
+          Alcotest.test_case "layers" `Quick test_layers;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_depth_bounds;
+          QCheck_alcotest.to_alcotest prop_layers_valid_schedule;
+          QCheck_alcotest.to_alcotest prop_inverse_involutive;
+          QCheck_alcotest.to_alcotest prop_inverse_cancels;
+          QCheck_alcotest.to_alcotest prop_stats_additive;
+        ] );
+    ]

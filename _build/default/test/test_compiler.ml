@@ -1,0 +1,335 @@
+let check_bool = Alcotest.(check bool)
+
+let toffoli_cascade =
+  Circuit.make ~n:3
+    [
+      Gate.Toffoli { c1 = 0; c2 = 1; target = 2 };
+      Gate.Cnot { control = 0; target = 1 };
+      Gate.X 0;
+    ]
+
+let compile_to device input =
+  Compiler.compile (Compiler.default_options ~device) input
+
+let assert_valid_output device (r : Compiler.report) =
+  check_bool "native gates only" true (Circuit.uses_only_native r.optimized);
+  check_bool "legal on device" true (Route.legal_on device r.optimized);
+  check_bool "verified" true (r.verification = Compiler.Verified);
+  check_bool "optimized not worse" true
+    (r.optimized_cost <= r.unoptimized_cost)
+
+let test_quantum_to_ibmqx2 () =
+  let device = Device.Ibm.ibmqx2 in
+  let r = compile_to device (Compiler.Quantum toffoli_cascade) in
+  assert_valid_output device r;
+  (* 5-qubit device: also confirm with the dense simulator. *)
+  check_bool "dense-simulator equivalent" true
+    (Sim.equivalent ~up_to_phase:false r.Compiler.reference r.Compiler.optimized)
+
+let test_quantum_to_all_small_devices () =
+  List.iter
+    (fun device ->
+      let r = compile_to device (Compiler.Quantum toffoli_cascade) in
+      assert_valid_output device r)
+    Device.Ibm.all
+
+let test_classical_front_end () =
+  let pla = Qformats.Pla.of_string ".i 2\n.o 1\n11 1\n.e\n" in
+  let device = Device.Ibm.ibmqx4 in
+  let r = compile_to device (Compiler.Classical pla) in
+  assert_valid_output device r;
+  (* The reference is the front-end cascade; the mapped circuit must
+     compute AND on wire 2 like the cascade does. *)
+  check_bool "reference computes AND" true
+    (Sim.truth_table r.Compiler.reference ~inputs:[ 0; 1 ] ~output:2
+    = [| false; false; false; true |])
+
+let test_simulator_target_identity_mapping () =
+  (* Mapping a native circuit to the simulator leaves it essentially
+     unchanged (Table 3's technology-independent column). *)
+  let c =
+    Circuit.make ~n:3
+      [ Gate.H 0; Gate.T 1; Gate.Cnot { control = 2; target = 0 } ]
+  in
+  let device = Device.simulator ~n_qubits:3 in
+  let r = compile_to device (Compiler.Quantum c) in
+  check_bool "no expansion on simulator" true
+    (Circuit.gate_count r.Compiler.optimized <= Circuit.gate_count c);
+  check_bool "verified" true (r.Compiler.verification = Compiler.Verified)
+
+let test_mct_needs_room () =
+  (* A T4 gate on a full simulator register cannot decompose; on a
+     bigger device it can. *)
+  let mct = Circuit.make ~n:4 [ Gate.mct [ 0; 1; 2 ] 3 ] in
+  (match
+     compile_to (Device.simulator ~n_qubits:4) (Compiler.Quantum mct)
+   with
+  | exception Compiler.Compile_error _ -> ()
+  | _ -> Alcotest.fail "expected Compile_error for full register");
+  let r = compile_to (Device.simulator ~n_qubits:5) (Compiler.Quantum mct) in
+  check_bool "verified with borrowed qubit" true
+    (r.Compiler.verification = Compiler.Verified)
+
+let test_too_big_rejected () =
+  match
+    compile_to Device.Ibm.ibmqx2 (Compiler.Quantum (Circuit.empty 9))
+  with
+  | exception Compiler.Compile_error _ -> ()
+  | _ -> Alcotest.fail "expected Compile_error for oversized circuit"
+
+let test_verification_catches_skip () =
+  let opts =
+    { (Compiler.default_options ~device:Device.Ibm.ibmqx2) with
+      Compiler.verification = Compiler.Skip
+    }
+  in
+  let r = opts |> fun o -> Compiler.compile o (Compiler.Quantum toffoli_cascade) in
+  check_bool "skipped" true (r.Compiler.verification = Compiler.Skipped)
+
+let test_verification_catches_injected_bug () =
+  (* Failure injection: compile without verification, corrupt the
+     output, then run the same QMDD check the compiler uses — it must
+     report inequivalence.  This is what stands between a buggy
+     optimizer and silently wrong QASM. *)
+  let device = Device.Ibm.ibmqx2 in
+  let opts =
+    { (Compiler.default_options ~device) with Compiler.verification = Compiler.Skip }
+  in
+  let r = Compiler.compile opts (Compiler.Quantum toffoli_cascade) in
+  let corrupted = Circuit.append r.Compiler.optimized (Gate.T 0) in
+  check_bool "extra T detected" false
+    (Qmdd.equivalent ~up_to_phase:false r.Compiler.reference corrupted);
+  (* Dropping a gate is detected too. *)
+  let dropped =
+    match List.rev (Circuit.gates r.Compiler.optimized) with
+    | _ :: rest -> Circuit.make ~n:5 (List.rev rest)
+    | [] -> Alcotest.fail "empty output"
+  in
+  check_bool "dropped gate detected" false
+    (Qmdd.equivalent ~up_to_phase:false r.Compiler.reference dropped)
+
+let test_tracking_router_option () =
+  let device = Device.Ibm.ibmqx3 in
+  let c =
+    Circuit.make ~n:16
+      [
+        Gate.Cnot { control = 5; target = 10 };
+        Gate.Cnot { control = 5; target = 10 };
+        Gate.H 5;
+      ]
+  in
+  let compile router =
+    Compiler.compile
+      { (Compiler.default_options ~device) with Compiler.router }
+      (Compiler.Quantum c)
+  in
+  let ctr = compile Compiler.Ctr in
+  let tracking = compile Compiler.Tracking in
+  check_bool "both verified" true
+    (ctr.Compiler.verification = Compiler.Verified
+    && tracking.Compiler.verification = Compiler.Verified);
+  check_bool "tracking not worse here" true
+    (tracking.Compiler.optimized_cost <= ctr.Compiler.optimized_cost)
+
+let test_emit_qasm () =
+  let r = compile_to Device.Ibm.ibmqx2 (Compiler.Quantum toffoli_cascade) in
+  let qasm = Compiler.emit_qasm r in
+  let parsed = Qformats.Qasm.of_string qasm in
+  check_bool "emitted QASM parses back to the output circuit" true
+    (Circuit.equal parsed r.Compiler.optimized)
+
+let test_report_rendering () =
+  let device = Device.Ibm.ibmqx4 in
+  let opts =
+    { (Compiler.default_options ~device) with Compiler.use_placement = true }
+  in
+  let r = Compiler.compile opts (Compiler.Quantum toffoli_cascade) in
+  let text = Format.asprintf "%a" Compiler.pp_report r in
+  let contains sub =
+    let n = String.length text and k = String.length sub in
+    let rec scan i = i + k <= n && (String.sub text i k = sub || scan (i + 1)) in
+    scan 0
+  in
+  check_bool "mentions cost" true (contains "cost=");
+  check_bool "mentions depth" true (contains "depth=");
+  check_bool "mentions verification" true (contains "verification");
+  check_bool "all verification strings distinct" true
+    (List.length
+       (List.sort_uniq String.compare
+          (List.map Compiler.verification_to_string
+             [
+               Compiler.Verified; Compiler.Verified_staged; Compiler.Mismatch;
+               Compiler.Budget_exceeded; Compiler.Skipped;
+             ]))
+    = 5)
+
+let test_parse_file_dispatch () =
+  let dir = Filename.temp_file "qsynth" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let qc_path = Filename.concat dir "a.qc" in
+  Qformats.Qc.write_file qc_path toffoli_cascade;
+  (match Compiler.parse_file qc_path with
+  | Compiler.Quantum c ->
+    check_bool "qc parsed" true (Circuit.equal c toffoli_cascade)
+  | Compiler.Classical _ -> Alcotest.fail "expected Quantum");
+  let pla_path = Filename.concat dir "f.pla" in
+  Qformats.Pla.write_file pla_path
+    (Qformats.Pla.of_string ".i 2\n.o 1\n11 1\n.e\n");
+  (match Compiler.parse_file pla_path with
+  | Compiler.Classical _ -> ()
+  | Compiler.Quantum _ -> Alcotest.fail "expected Classical");
+  (match Compiler.parse_file (Filename.concat dir "x.unknown") with
+  | exception Compiler.Compile_error _ -> ()
+  | _ -> Alcotest.fail "expected unsupported extension error");
+  Sys.remove qc_path;
+  Sys.remove pla_path;
+  Unix.rmdir dir
+
+let test_option_combinations () =
+  (* Every combination of the boolean pipeline switches still produces
+     a verified, legal result. *)
+  let device = Device.Ibm.ibmqx4 in
+  List.iter
+    (fun (pre, post, place) ->
+      let opts =
+        {
+          (Compiler.default_options ~device) with
+          Compiler.pre_optimize = pre;
+          Compiler.post_optimize = post;
+          Compiler.use_placement = place;
+        }
+      in
+      let r = Compiler.compile opts (Compiler.Quantum toffoli_cascade) in
+      check_bool
+        (Printf.sprintf "pre=%b post=%b place=%b verified" pre post place)
+        true
+        (Compiler.verified r.Compiler.verification);
+      check_bool "legal" true (Route.legal_on device r.Compiler.optimized))
+    [
+      (false, false, false);
+      (false, true, false);
+      (true, false, false);
+      (true, true, true);
+      (false, false, true);
+    ]
+
+let test_multi_output_classical () =
+  (* A 2-output PLA (half adder) through the front-end. *)
+  let pla = Qformats.Pla.of_string ".i 2\n.o 2\n11 10\n01 01\n10 01\n.e\n" in
+  let r = compile_to Device.Ibm.ibmqx5 (Compiler.Classical pla) in
+  check_bool "verified" true (Compiler.verified r.Compiler.verification);
+  (* Reference semantics: wire 2 = AND (carry), wire 3 = XOR (sum). *)
+  check_bool "carry" true
+    (Sim.truth_table r.Compiler.reference ~inputs:[ 0; 1 ] ~output:2
+    = [| false; false; false; true |]);
+  check_bool "sum" true
+    (Sim.truth_table r.Compiler.reference ~inputs:[ 0; 1 ] ~output:3
+    = [| false; true; true; false |])
+
+let prop_compile_random_circuits =
+  QCheck2.Test.make ~name:"random circuits compile verified to ibmqx4"
+    ~count:15
+    (Testutil.gen_circuit ~max_gates:8 4)
+    (fun c ->
+      let r = compile_to Device.Ibm.ibmqx4 (Compiler.Quantum c) in
+      r.Compiler.verification = Compiler.Verified
+      && Route.legal_on Device.Ibm.ibmqx4 r.Compiler.optimized
+      && Circuit.uses_only_native r.Compiler.optimized)
+
+let prop_compile_idempotent =
+  (* A circuit already mapped to a device compiles to itself-or-better:
+     no re-expansion, still verified. *)
+  QCheck2.Test.make ~name:"recompiling mapped output does not expand" ~count:10
+    (Testutil.gen_native_circuit ~max_gates:6 4)
+    (fun c ->
+      let device = Device.Ibm.ibmqx4 in
+      let opts = Compiler.default_options ~device in
+      let first = Compiler.compile opts (Compiler.Quantum c) in
+      let second =
+        Compiler.compile opts (Compiler.Quantum first.Compiler.optimized)
+      in
+      Compiler.verified second.Compiler.verification
+      && Circuit.gate_count second.Compiler.optimized
+         <= Circuit.gate_count first.Compiler.optimized)
+
+let prop_all_routers_verified =
+  (* Fuzz the full option space: every router on random circuits, all
+     formally verified. *)
+  QCheck2.Test.make ~name:"all routers produce verified outputs" ~count:10
+    (Testutil.gen_native_circuit ~max_gates:6 5)
+    (fun c ->
+      let device = Device.Ibm.ibmqx4 in
+      let cal = Calibration.synthetic device in
+      List.for_all
+        (fun router ->
+          let opts =
+            { (Compiler.default_options ~device) with Compiler.router }
+          in
+          let r = Compiler.compile opts (Compiler.Quantum c) in
+          Compiler.verified r.Compiler.verification
+          && Route.legal_on device r.Compiler.optimized)
+        [
+          Compiler.Ctr;
+          Compiler.Tracking;
+          Compiler.Weighted_ctr (Calibration.swap_hop_weight cal);
+        ])
+
+let prop_compile_classical =
+  QCheck2.Test.make ~name:"random 2-input functions compile verified"
+    ~count:16
+    QCheck2.Gen.(list_repeat 4 bool |> map Array.of_list)
+    (fun table ->
+      let cubes =
+        Array.to_list table
+        |> List.mapi (fun k one -> (k, one))
+        |> List.filter_map (fun (k, one) ->
+               if one then
+                 Some
+                   (Printf.sprintf "%d%d 1" ((k lsr 1) land 1) (k land 1))
+               else None)
+      in
+      let src =
+        ".i 2\n.o 1\n" ^ String.concat "\n" cubes ^ "\n.e\n"
+      in
+      let pla = Qformats.Pla.of_string src in
+      let r = compile_to Device.Ibm.ibmqx2 (Compiler.Classical pla) in
+      r.Compiler.verification = Compiler.Verified)
+
+let () =
+  Alcotest.run "compiler"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "toffoli cascade to ibmqx2" `Quick
+            test_quantum_to_ibmqx2;
+          Alcotest.test_case "all devices" `Quick test_quantum_to_all_small_devices;
+          Alcotest.test_case "classical front end" `Quick test_classical_front_end;
+          Alcotest.test_case "simulator target" `Quick
+            test_simulator_target_identity_mapping;
+          Alcotest.test_case "mct needs room" `Quick test_mct_needs_room;
+          Alcotest.test_case "too big rejected" `Quick test_too_big_rejected;
+          Alcotest.test_case "skip verification" `Quick
+            test_verification_catches_skip;
+          Alcotest.test_case "failure injection" `Quick
+            test_verification_catches_injected_bug;
+          Alcotest.test_case "tracking router option" `Quick
+            test_tracking_router_option;
+          Alcotest.test_case "option combinations" `Quick test_option_combinations;
+          Alcotest.test_case "multi-output classical" `Quick
+            test_multi_output_classical;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "emit qasm" `Quick test_emit_qasm;
+          Alcotest.test_case "report rendering" `Quick test_report_rendering;
+          Alcotest.test_case "parse_file dispatch" `Quick test_parse_file_dispatch;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_compile_random_circuits;
+          QCheck_alcotest.to_alcotest prop_compile_idempotent;
+          QCheck_alcotest.to_alcotest prop_all_routers_verified;
+          QCheck_alcotest.to_alcotest prop_compile_classical;
+        ] );
+    ]

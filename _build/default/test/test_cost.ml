@@ -1,0 +1,92 @@
+let check_bool = Alcotest.(check bool)
+
+let check_float name expected actual =
+  Alcotest.(check (float 1e-9)) name expected actual
+
+let sample =
+  Circuit.make ~n:3
+    [
+      Gate.T 0;
+      Gate.Tdg 1;
+      Gate.H 2;
+      Gate.Cnot { control = 0; target = 1 };
+      Gate.Cnot { control = 1; target = 2 };
+      Gate.S 0;
+    ]
+
+let test_eqn2 () =
+  (* t = 2, c = 2, a = 6: 0.5*2 + 0.25*2 + 6 = 7.5 — Eqn. 2 verbatim. *)
+  check_float "eqn2 value" 7.5 (Cost.evaluate Cost.eqn2 sample);
+  check_float "empty circuit" 0.0 (Cost.evaluate Cost.eqn2 (Circuit.empty 2))
+
+let test_linear_weights () =
+  let t_only =
+    Cost.linear ~name:"t only" ~t_weight:1.0 ~cnot_weight:0.0 ~gate_weight:0.0
+  in
+  check_float "counts T gates" 2.0 (Cost.evaluate t_only sample);
+  let volume =
+    Cost.linear ~name:"volume" ~t_weight:0.0 ~cnot_weight:0.0 ~gate_weight:1.0
+  in
+  check_float "counts volume" 6.0 (Cost.evaluate volume sample)
+
+let test_custom_and_of_stats () =
+  let depth_cost = Cost.custom ~name:"depth" (fun c -> float_of_int (Circuit.depth c)) in
+  check_float "custom sees the circuit" (float_of_int (Circuit.depth sample))
+    (Cost.evaluate depth_cost sample);
+  let cnot_squared =
+    Cost.of_stats ~name:"c^2" (fun s ->
+        let c = float_of_int s.Circuit.cnot_count in
+        c *. c)
+  in
+  check_float "nonlinear stats cost" 4.0 (Cost.evaluate cnot_squared sample);
+  check_bool "names kept" true (Cost.name depth_cost = "depth")
+
+let test_percent_decrease () =
+  check_float "50 percent" 50.0 (Cost.percent_decrease ~before:10.0 ~after:5.0);
+  check_float "no change" 0.0 (Cost.percent_decrease ~before:7.0 ~after:7.0);
+  check_float "zero before guarded" 0.0 (Cost.percent_decrease ~before:0.0 ~after:3.0);
+  check_float "negative when worse" (-20.0)
+    (Cost.percent_decrease ~before:5.0 ~after:6.0)
+
+let test_improves () =
+  let smaller = Circuit.make ~n:3 [ Gate.H 0 ] in
+  check_bool "smaller improves" true
+    (Cost.improves Cost.eqn2 ~original:sample ~candidate:smaller);
+  check_bool "equal does not improve" false
+    (Cost.improves Cost.eqn2 ~original:sample ~candidate:sample)
+
+let prop_eqn2_additive =
+  QCheck2.Test.make ~name:"eqn2 additive over concatenation" ~count:80
+    QCheck2.Gen.(pair (Testutil.gen_circuit 4) (Testutil.gen_circuit 4))
+    (fun (a, b) ->
+      abs_float
+        (Cost.evaluate Cost.eqn2 (Circuit.concat a b)
+        -. (Cost.evaluate Cost.eqn2 a +. Cost.evaluate Cost.eqn2 b))
+      < 1e-9)
+
+let prop_eqn2_gate_bounds =
+  (* Every gate costs at least 1 (volume term) and at most 1.5. *)
+  QCheck2.Test.make ~name:"eqn2 per-gate bounds" ~count:80
+    (Testutil.gen_circuit 4)
+    (fun c ->
+      let v = float_of_int (Circuit.gate_count c) in
+      let cost = Cost.evaluate Cost.eqn2 c in
+      cost >= v && cost <= 1.5 *. v)
+
+let () =
+  Alcotest.run "cost"
+    [
+      ( "functions",
+        [
+          Alcotest.test_case "eqn2" `Quick test_eqn2;
+          Alcotest.test_case "linear weights" `Quick test_linear_weights;
+          Alcotest.test_case "custom/of_stats" `Quick test_custom_and_of_stats;
+          Alcotest.test_case "percent decrease" `Quick test_percent_decrease;
+          Alcotest.test_case "improves" `Quick test_improves;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_eqn2_additive;
+          QCheck_alcotest.to_alcotest prop_eqn2_gate_bounds;
+        ] );
+    ]

@@ -1,0 +1,193 @@
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Truth tables use the first-input-is-MSB convention throughout. *)
+let and3 = Array.init 8 (fun k -> k = 7)
+let xor3 = Array.init 8 (fun k -> (k lxor (k lsr 1) lxor (k lsr 2)) land 1 = 1)
+let majority3 = Array.init 8 (fun k -> k = 3 || k = 5 || k = 6 || k = 7)
+
+let test_minterms_roundtrip () =
+  List.iter
+    (fun table ->
+      let e = Esop.of_minterms table in
+      check_bool "minterm table matches" true (Esop.truth_table e = table))
+    [ and3; xor3; majority3 ]
+
+let test_pprm_known_forms () =
+  (* AND has a single positive monomial; XOR has the three linear
+     monomials. *)
+  let e_and = Esop.pprm and3 in
+  check_int "AND pprm cube count" 1 (Esop.cube_count e_and);
+  let e_xor = Esop.pprm xor3 in
+  check_int "XOR pprm cube count" 3 (Esop.cube_count e_xor);
+  check_bool "pprm tables match" true
+    (Esop.truth_table e_and = and3 && Esop.truth_table e_xor = xor3)
+
+let test_minimize_shrinks () =
+  (* Majority has adjacent minterms (011/111 etc.) that the distance-1
+     merge rule combines.  XOR needs distance-2 moves and is covered by
+     the PPRM path instead. *)
+  let raw = Esop.of_minterms majority3 in
+  let minimized = Esop.minimize raw in
+  check_bool "shrank" true (Esop.cube_count minimized < Esop.cube_count raw);
+  check_bool "function preserved" true (Esop.truth_table minimized = majority3)
+
+let test_exorlink_distance2 () =
+  (* XNOR = ab xor a'b' shrinks to two one-literal cubes (a' xor b). *)
+  let xnor = [| true; false; false; true |] in
+  let raw = Esop.of_minterms xnor in
+  let minimized = Esop.minimize raw in
+  check_bool "function preserved" true (Esop.truth_table minimized = xnor);
+  check_int "two cubes" 2 (Esop.cube_count minimized);
+  (* XOR3 minterms now minimize below 4 cubes thanks to distance-2
+     moves (3 linear cubes, like the PPRM). *)
+  let xor_min = Esop.minimize (Esop.of_minterms xor3) in
+  check_bool "xor function preserved" true (Esop.truth_table xor_min = xor3);
+  check_bool "xor shrank" true (Esop.cube_count xor_min <= 3)
+
+let test_of_truth_table_picks_best () =
+  List.iter
+    (fun table ->
+      let e = Esop.of_truth_table table in
+      check_bool "best form correct" true (Esop.truth_table e = table);
+      check_bool "not worse than pprm" true
+        (Esop.cube_count e <= Esop.cube_count (Esop.pprm table)))
+    [ and3; xor3; majority3 ]
+
+let test_make_validation () =
+  (match Esop.make ~n_inputs:2 [ { Esop.mask = 5; value = 0 } ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted mask overflow");
+  match Esop.make ~n_inputs:3 [ { Esop.mask = 1; value = 2 } ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted value outside mask"
+
+let test_cascade_and3 () =
+  let c = Cascade.of_truth_table and3 in
+  check_int "4 wires" 4 (Circuit.n_qubits c);
+  check_bool "computes AND" true
+    (Sim.truth_table c ~inputs:[ 0; 1; 2 ] ~output:3 = and3);
+  (* A single positive cube: exactly one MCT, no X sandwiches. *)
+  check_int "single gate" 1 (Circuit.gate_count c)
+
+let test_cascade_negative_literals () =
+  (* f = NOT a AND NOT b: needs X sandwiches around the Toffoli. *)
+  let table = [| true; false; false; false |] in
+  let c = Cascade.of_truth_table table in
+  check_bool "computes NOR-ish" true
+    (Sim.truth_table c ~inputs:[ 0; 1 ] ~output:2 = table);
+  check_bool "classical circuit" true (Sim.is_classical c)
+
+let test_cascade_constant_one () =
+  (* The constant-1 function becomes a bare X on the target. *)
+  let table = [| true; true |] in
+  let c = Cascade.of_truth_table table in
+  check_bool "constant one" true
+    (Sim.truth_table c ~inputs:[ 0 ] ~output:1 = table)
+
+let test_cascade_multi_output_pla () =
+  let src = ".i 2\n.o 2\n11 10\n0- 01\n.e\n" in
+  let pla = Qformats.Pla.of_string src in
+  let c = Cascade.of_pla pla in
+  check_int "4 wires" 4 (Circuit.n_qubits c);
+  check_bool "output 0" true
+    (Sim.truth_table c ~inputs:[ 0; 1 ] ~output:2
+    = Qformats.Pla.truth_table pla ~output:0);
+  check_bool "output 1" true
+    (Sim.truth_table c ~inputs:[ 0; 1 ] ~output:3
+    = Qformats.Pla.truth_table pla ~output:1)
+
+let test_embedding_report () =
+  let pla = Qformats.Pla.of_string ".i 3\n.o 2\n111 11\n.e\n" in
+  let e = Cascade.embedding_of_pla pla in
+  check_int "wires" 5 e.Cascade.wires;
+  check_int "ancilla" 2 e.Cascade.ancilla;
+  check_int "garbage" 3 e.Cascade.garbage
+
+let test_esop_pla_direct_translation () =
+  let src = ".i 3\n.o 1\n.type esop\n1-1 1\n010 1\n.e\n" in
+  let pla = Qformats.Pla.of_string src in
+  let e = Esop.of_pla pla ~output:0 in
+  check_int "two cubes, no expansion" 2 (Esop.cube_count e);
+  check_bool "same function" true
+    (Esop.truth_table e = Qformats.Pla.truth_table pla ~output:0)
+
+let gen_table n =
+  QCheck2.Gen.(
+    list_repeat (1 lsl n) bool |> map Array.of_list)
+
+let prop_minimize_preserves =
+  QCheck2.Test.make ~name:"minimize preserves the function" ~count:100
+    (gen_table 4)
+    (fun table ->
+      let e = Esop.of_minterms table in
+      Esop.truth_table (Esop.minimize e) = table)
+
+let prop_pprm_exact =
+  QCheck2.Test.make ~name:"pprm is exact" ~count:100 (gen_table 4)
+    (fun table -> Esop.truth_table (Esop.pprm table) = table)
+
+let prop_minimize_never_grows =
+  QCheck2.Test.make ~name:"minimize never grows" ~count:100 (gen_table 4)
+    (fun table ->
+      let e = Esop.of_minterms table in
+      Esop.cube_count (Esop.minimize e) <= Esop.cube_count e)
+
+let prop_cascade_computes_table =
+  QCheck2.Test.make ~name:"cascade realizes its truth table" ~count:60
+    (gen_table 3)
+    (fun table ->
+      let c = Cascade.of_truth_table table in
+      Sim.truth_table c ~inputs:[ 0; 1; 2 ] ~output:3 = table)
+
+let prop_cascade_restores_inputs =
+  QCheck2.Test.make ~name:"cascade inputs pass through (garbage wires)"
+    ~count:60 (gen_table 3)
+    (fun table ->
+      let c = Cascade.of_truth_table table in
+      List.for_all
+        (fun k ->
+          let bits =
+            Array.init 4 (fun q -> q < 3 && (k lsr (2 - q)) land 1 = 1)
+          in
+          match Sim.classical_run c bits with
+          | None -> false
+          | Some out ->
+            List.for_all
+              (fun q -> out.(q) = ((k lsr (2 - q)) land 1 = 1))
+              [ 0; 1; 2 ])
+        (List.init 8 (fun i -> i)))
+
+let () =
+  Alcotest.run "esop"
+    [
+      ( "representation",
+        [
+          Alcotest.test_case "minterms" `Quick test_minterms_roundtrip;
+          Alcotest.test_case "pprm forms" `Quick test_pprm_known_forms;
+          Alcotest.test_case "minimize" `Quick test_minimize_shrinks;
+          Alcotest.test_case "exorlink distance-2" `Quick test_exorlink_distance2;
+          Alcotest.test_case "best form" `Quick test_of_truth_table_picks_best;
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "pla esop translation" `Quick
+            test_esop_pla_direct_translation;
+        ] );
+      ( "cascade",
+        [
+          Alcotest.test_case "and3" `Quick test_cascade_and3;
+          Alcotest.test_case "negative literals" `Quick
+            test_cascade_negative_literals;
+          Alcotest.test_case "constant one" `Quick test_cascade_constant_one;
+          Alcotest.test_case "multi-output pla" `Quick
+            test_cascade_multi_output_pla;
+          Alcotest.test_case "embedding report" `Quick test_embedding_report;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_minimize_preserves;
+          QCheck_alcotest.to_alcotest prop_pprm_exact;
+          QCheck_alcotest.to_alcotest prop_minimize_never_grows;
+          QCheck_alcotest.to_alcotest prop_cascade_computes_table;
+          QCheck_alcotest.to_alcotest prop_cascade_restores_inputs;
+        ] );
+    ]

@@ -1,0 +1,167 @@
+open Mathkit
+
+let check_bool = Alcotest.(check bool)
+
+let all_sample_gates =
+  [
+    Gate.X 0;
+    Gate.Y 1;
+    Gate.Z 2;
+    Gate.H 0;
+    Gate.S 1;
+    Gate.Sdg 2;
+    Gate.T 0;
+    Gate.Tdg 1;
+    Gate.Cnot { control = 0; target = 2 };
+    Gate.Cnot { control = 2; target = 0 };
+    Gate.Cz (1, 2);
+    Gate.Swap (0, 2);
+    Gate.Toffoli { c1 = 0; c2 = 2; target = 1 };
+    Gate.Mct { controls = [ 0; 1; 2 ]; target = 3 };
+  ]
+
+let test_base_matrices_unitary () =
+  List.iter
+    (fun g ->
+      check_bool
+        (Printf.sprintf "%s base matrix unitary" (Gate.to_string g))
+        true
+        (Matrix.is_unitary (Gate.base_matrix g)))
+    all_sample_gates
+
+let test_embedded_matrices_unitary () =
+  List.iter
+    (fun g ->
+      check_bool
+        (Printf.sprintf "%s embedded unitary" (Gate.to_string g))
+        true
+        (Matrix.is_unitary (Gate.embedded_matrix ~n:4 g)))
+    all_sample_gates
+
+let test_table1_entries () =
+  (* Spot checks against Table 1 of the paper. *)
+  let t = Gate.base_matrix (Gate.T 0) in
+  check_bool "T phase = exp(i pi/4)" true
+    (Cx.approx_equal (Matrix.get t 1 1) (Cx.omega 1));
+  let cnot = Gate.base_matrix (Gate.Cnot { control = 0; target = 1 }) in
+  check_bool "CNOT |10> -> |11>" true (Cx.is_one (Matrix.get cnot 3 2));
+  check_bool "CNOT |11> -> |10>" true (Cx.is_one (Matrix.get cnot 2 3));
+  check_bool "CNOT |00> -> |00>" true (Cx.is_one (Matrix.get cnot 0 0));
+  let cz = Gate.base_matrix (Gate.Cz (0, 1)) in
+  check_bool "CZ sign on |11>" true
+    (Cx.approx_equal (Matrix.get cz 3 3) (Cx.of_float (-1.0)));
+  let toffoli = Gate.base_matrix (Gate.Toffoli { c1 = 0; c2 = 1; target = 2 }) in
+  check_bool "Toffoli |110> -> |111>" true (Cx.is_one (Matrix.get toffoli 7 6));
+  check_bool "Toffoli fixes |100>" true (Cx.is_one (Matrix.get toffoli 4 4));
+  let swap = Gate.base_matrix (Gate.Swap (0, 1)) in
+  check_bool "SWAP |01> -> |10>" true (Cx.is_one (Matrix.get swap 2 1))
+
+let test_adjoint_inverse () =
+  List.iter
+    (fun g ->
+      let u = Gate.embedded_matrix ~n:4 g in
+      let udg = Gate.embedded_matrix ~n:4 (Gate.adjoint g) in
+      check_bool
+        (Printf.sprintf "%s adjoint inverts" (Gate.to_string g))
+        true
+        (Matrix.is_identity (Matrix.mul udg u)))
+    all_sample_gates
+
+let test_adjoint_pairs () =
+  check_bool "adjoint S = Sdg" true (Gate.adjoint (Gate.S 3) = Gate.Sdg 3);
+  check_bool "adjoint Tdg = T" true (Gate.adjoint (Gate.Tdg 0) = Gate.T 0);
+  check_bool "H self inverse" true (Gate.is_self_inverse (Gate.H 1));
+  check_bool "T not self inverse" false (Gate.is_self_inverse (Gate.T 1))
+
+let test_mct_constructor () =
+  check_bool "0 controls = X" true (Gate.mct [] 3 = Gate.X 3);
+  check_bool "1 control = CNOT" true
+    (Gate.mct [ 1 ] 3 = Gate.Cnot { control = 1; target = 3 });
+  check_bool "2 controls = Toffoli" true
+    (Gate.mct [ 2; 1 ] 3 = Gate.Toffoli { c1 = 1; c2 = 2; target = 3 });
+  check_bool "3 controls sorted" true
+    (Gate.mct [ 2; 0; 1 ] 3 = Gate.Mct { controls = [ 0; 1; 2 ]; target = 3 });
+  Alcotest.check_raises "target in controls"
+    (Invalid_argument "Gate.mct: target is a control") (fun () ->
+      ignore (Gate.mct [ 0; 3 ] 3));
+  Alcotest.check_raises "repeated control"
+    (Invalid_argument "Gate.mct: repeated control") (fun () ->
+      ignore (Gate.mct [ 1; 1; 2 ] 3))
+
+let test_support () =
+  check_bool "support H" true (Gate.support (Gate.H 5) = [ 5 ]);
+  check_bool "support CNOT sorted" true
+    (Gate.support (Gate.Cnot { control = 7; target = 2 }) = [ 2; 7 ]);
+  check_bool "support MCT" true
+    (Gate.support (Gate.Mct { controls = [ 4; 1 ]; target = 0 }) = [ 0; 1; 4 ]);
+  check_bool "max_qubit" true
+    (Gate.max_qubit (Gate.Toffoli { c1 = 9; c2 = 3; target = 6 }) = 9)
+
+let test_rename () =
+  let g = Gate.Cnot { control = 0; target = 1 } in
+  check_bool "rename shifts" true
+    (Gate.rename (fun q -> q + 3) g = Gate.Cnot { control = 3; target = 4 });
+  Alcotest.check_raises "merging rename rejected"
+    (Invalid_argument "Gate.rename: renaming merges qubits") (fun () ->
+      ignore (Gate.rename (fun _ -> 0) g))
+
+let test_classification () =
+  check_bool "T is t-like" true (Gate.is_t_like (Gate.T 0));
+  check_bool "Tdg is t-like" true (Gate.is_t_like (Gate.Tdg 0));
+  check_bool "S not t-like" false (Gate.is_t_like (Gate.S 0));
+  check_bool "CNOT native" true
+    (Gate.is_transmon_native (Gate.Cnot { control = 0; target = 1 }));
+  check_bool "Toffoli not native" false
+    (Gate.is_transmon_native (Gate.Toffoli { c1 = 0; c2 = 1; target = 2 }));
+  check_bool "SWAP not native" false (Gate.is_transmon_native (Gate.Swap (0, 1)))
+
+let test_mct_semantics () =
+  (* The generalized Toffoli flips the target exactly on the all-ones
+     control pattern. *)
+  let g = Gate.Mct { controls = [ 0; 1; 2 ]; target = 3 } in
+  let m = Gate.embedded_matrix ~n:4 g in
+  check_bool "flips |1110> -> |1111>" true (Cx.is_one (Matrix.get m 15 14));
+  check_bool "fixes |0111>" true (Cx.is_one (Matrix.get m 7 7));
+  check_bool "permutation matrix" true (Matrix.is_unitary m)
+
+let prop_embedded_consistent_with_apply_basis =
+  QCheck2.Test.make ~name:"embedded matrix column = apply_basis" ~count:100
+    (Testutil.gen_gate 4)
+    (fun g ->
+      let m = Gate.embedded_matrix ~n:4 g in
+      List.for_all
+        (fun col ->
+          let sparse = Gate.apply_basis ~n:4 g col in
+          List.for_all
+            (fun (amp, row) ->
+              Cx.approx_equal amp (Matrix.get m row col))
+            sparse)
+        (List.init 16 (fun i -> i)))
+
+let prop_adjoint_involutive =
+  QCheck2.Test.make ~name:"adjoint involutive" ~count:200 (Testutil.gen_gate 5)
+    (fun g -> Gate.adjoint (Gate.adjoint g) = g)
+
+let () =
+  Alcotest.run "gate"
+    [
+      ( "matrices",
+        [
+          Alcotest.test_case "base unitary" `Quick test_base_matrices_unitary;
+          Alcotest.test_case "embedded unitary" `Quick
+            test_embedded_matrices_unitary;
+          Alcotest.test_case "table 1 entries" `Quick test_table1_entries;
+          Alcotest.test_case "mct semantics" `Quick test_mct_semantics;
+          QCheck_alcotest.to_alcotest prop_embedded_consistent_with_apply_basis;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "adjoint inverse" `Quick test_adjoint_inverse;
+          Alcotest.test_case "adjoint pairs" `Quick test_adjoint_pairs;
+          Alcotest.test_case "mct constructor" `Quick test_mct_constructor;
+          Alcotest.test_case "support" `Quick test_support;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "classification" `Quick test_classification;
+          QCheck_alcotest.to_alcotest prop_adjoint_involutive;
+        ] );
+    ]

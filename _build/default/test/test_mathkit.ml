@@ -1,0 +1,112 @@
+open Mathkit
+
+let check_bool = Alcotest.(check bool)
+
+let test_cx_roots () =
+  (* omega^8 = 1 and omega^4 = -1. *)
+  check_bool "omega 8 = 1" true (Cx.is_one (Cx.omega 8));
+  check_bool "omega 4 = -1" true
+    (Cx.approx_equal (Cx.omega 4) (Cx.of_float (-1.0)));
+  check_bool "omega 2 = i" true (Cx.approx_equal (Cx.omega 2) Cx.i);
+  (* omega^k * omega^(8-k) = 1 for all k *)
+  for k = 0 to 7 do
+    check_bool
+      (Printf.sprintf "omega %d * omega %d = 1" k (8 - k))
+      true
+      (Cx.is_one (Cx.mul (Cx.omega k) (Cx.omega (8 - k))))
+  done
+
+let test_cx_arith () =
+  let a = Cx.make 1.5 (-2.0) and b = Cx.make 0.25 3.0 in
+  check_bool "add/sub roundtrip" true
+    (Cx.approx_equal a (Cx.sub (Cx.add a b) b));
+  check_bool "mul/div roundtrip" true (Cx.approx_equal a (Cx.div (Cx.mul a b) b));
+  check_bool "conj involutive" true (Cx.approx_equal a (Cx.conj (Cx.conj a)));
+  check_bool "norm of unit" true
+    (abs_float (Cx.norm (Cx.omega 3) -. 1.0) < 1e-12)
+
+let test_cx_round_key () =
+  let a = Cx.make 0.70710678118 0.0 in
+  let b = Cx.make (0.70710678118 +. 1e-13) 0.0 in
+  check_bool "nearby values share a key" true (Cx.round_key a = Cx.round_key b);
+  check_bool "negative zero normalized" true
+    (Cx.round_key (Cx.make (-0.0) 0.0) = Cx.round_key Cx.zero)
+
+let test_matrix_mul_identity () =
+  let id = Matrix.identity 4 in
+  let m = Matrix.create 4 4 in
+  for r = 0 to 3 do
+    for c = 0 to 3 do
+      Matrix.set m r c (Cx.make (float_of_int ((r * 4) + c)) (float_of_int r))
+    done
+  done;
+  check_bool "I*m = m" true (Matrix.approx_equal (Matrix.mul id m) m);
+  check_bool "m*I = m" true (Matrix.approx_equal (Matrix.mul m id) m)
+
+let test_matrix_kron () =
+  let x = Matrix.of_rows [ [ Cx.zero; Cx.one ]; [ Cx.one; Cx.zero ] ] in
+  let id2 = Matrix.identity 2 in
+  let k = Matrix.kron x id2 in
+  (* X (x) I maps |00> -> |10>: column 0 has a 1 in row 2. *)
+  check_bool "kron dims" true (Matrix.rows k = 4 && Matrix.cols k = 4);
+  check_bool "kron entry" true (Cx.is_one (Matrix.get k 2 0));
+  check_bool "kron zero entry" true (Cx.is_zero (Matrix.get k 0 0))
+
+let test_matrix_dagger_unitary () =
+  let s = Cx.of_float Cx.inv_sqrt2 in
+  let h = Matrix.of_rows [ [ s; s ]; [ s; Cx.neg s ] ] in
+  check_bool "H unitary" true (Matrix.is_unitary h);
+  check_bool "H self-adjoint" true (Matrix.approx_equal h (Matrix.dagger h));
+  check_bool "H*H = I" true (Matrix.is_identity (Matrix.mul h h))
+
+let test_matrix_global_phase () =
+  let id = Matrix.identity 2 in
+  let phased = Matrix.scale (Cx.omega 3) (Matrix.identity 2) in
+  check_bool "same up to phase" true (Matrix.equal_up_to_global_phase id phased);
+  check_bool "not equal exactly" false (Matrix.approx_equal id phased);
+  let x = Matrix.of_rows [ [ Cx.zero; Cx.one ]; [ Cx.one; Cx.zero ] ] in
+  check_bool "X not phase of I" false (Matrix.equal_up_to_global_phase id x)
+
+let test_matrix_of_rows_invalid () =
+  Alcotest.check_raises "ragged rows rejected"
+    (Invalid_argument "Matrix.of_rows: ragged rows") (fun () ->
+      ignore (Matrix.of_rows [ [ Cx.one ]; [ Cx.one; Cx.zero ] ]))
+
+let prop_kron_mul_commutes =
+  (* (A (x) B)(C (x) D) = AC (x) BD for random small matrices. *)
+  let gen_matrix =
+    QCheck2.Gen.(
+      list_repeat 4 (pair (float_bound_inclusive 2.0) (float_bound_inclusive 2.0))
+      |> map (fun entries ->
+             let m = Matrix.create 2 2 in
+             List.iteri
+               (fun k (re, im) -> Matrix.set m (k / 2) (k mod 2) (Cx.make re im))
+               entries;
+             m))
+  in
+  QCheck2.Test.make ~name:"kron distributes over mul" ~count:50
+    QCheck2.Gen.(quad gen_matrix gen_matrix gen_matrix gen_matrix)
+    (fun (a, b, c, d) ->
+      Matrix.approx_equal ~eps:1e-6
+        (Matrix.mul (Matrix.kron a b) (Matrix.kron c d))
+        (Matrix.kron (Matrix.mul a c) (Matrix.mul b d)))
+
+let () =
+  Alcotest.run "mathkit"
+    [
+      ( "cx",
+        [
+          Alcotest.test_case "roots of unity" `Quick test_cx_roots;
+          Alcotest.test_case "arithmetic" `Quick test_cx_arith;
+          Alcotest.test_case "round key" `Quick test_cx_round_key;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "mul identity" `Quick test_matrix_mul_identity;
+          Alcotest.test_case "kron" `Quick test_matrix_kron;
+          Alcotest.test_case "dagger/unitary" `Quick test_matrix_dagger_unitary;
+          Alcotest.test_case "global phase" `Quick test_matrix_global_phase;
+          Alcotest.test_case "of_rows invalid" `Quick test_matrix_of_rows_invalid;
+          QCheck_alcotest.to_alcotest prop_kron_mul_commutes;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+open Mathkit
+
+let check_bool = Alcotest.(check bool)
+
+let test_basis_state () =
+  let s = Sim.basis_state ~n:2 2 in
+  (* |10>: qubit 0 is the MSB. *)
+  check_bool "amplitude at 2" true (Cx.is_one s.(2));
+  check_bool "amplitude at 0" true (Cx.is_zero s.(0))
+
+let test_bell_state () =
+  let c =
+    Circuit.make ~n:2 [ Gate.H 0; Gate.Cnot { control = 0; target = 1 } ]
+  in
+  let out = Sim.run c (Sim.basis_state ~n:2 0) in
+  let expected = Cx.of_float Cx.inv_sqrt2 in
+  check_bool "amp |00>" true (Cx.approx_equal out.(0) expected);
+  check_bool "amp |11>" true (Cx.approx_equal out.(3) expected);
+  check_bool "amp |01>" true (Cx.is_zero out.(1));
+  check_bool "amp |10>" true (Cx.is_zero out.(2))
+
+let test_unitary_matches_embedded () =
+  let g = Gate.Toffoli { c1 = 0; c2 = 2; target = 1 } in
+  let c = Circuit.make ~n:3 [ g ] in
+  check_bool "unitary = embedded matrix" true
+    (Matrix.approx_equal (Sim.unitary c) (Gate.embedded_matrix ~n:3 g))
+
+let test_equivalent_global_phase () =
+  (* Z = S . S and also Z = exp(i pi) . X Z X: check phase handling with
+     XZX = -Z. *)
+  let z = Circuit.make ~n:1 [ Gate.Z 0 ] in
+  let ss = Circuit.make ~n:1 [ Gate.S 0; Gate.S 0 ] in
+  let xzx = Circuit.make ~n:1 [ Gate.X 0; Gate.Z 0; Gate.X 0 ] in
+  check_bool "Z = SS exactly" true (Sim.equivalent ~up_to_phase:false z ss);
+  check_bool "Z = -XZX up to phase" true (Sim.equivalent z xzx);
+  check_bool "Z <> XZX exactly" false (Sim.equivalent ~up_to_phase:false z xzx)
+
+let test_classical_run () =
+  let c =
+    Circuit.make ~n:3
+      [
+        Gate.X 0;
+        Gate.Cnot { control = 0; target = 1 };
+        Gate.Toffoli { c1 = 0; c2 = 1; target = 2 };
+        Gate.Swap (0, 2);
+      ]
+  in
+  (match Sim.classical_run c [| false; false; false |] with
+  | None -> Alcotest.fail "expected classical circuit"
+  | Some bits ->
+    (* x0: 0->1; x1: 0 xor 1 = 1; x2: toffoli(1,1) flips 0->1; swap q0,q2. *)
+    check_bool "bit 0" true (bits.(0) = true);
+    check_bool "bit 1" true (bits.(1) = true);
+    check_bool "bit 2" true (bits.(2) = true));
+  let with_h = Circuit.make ~n:1 [ Gate.H 0 ] in
+  check_bool "H rejected" true (Sim.classical_run with_h [| false |] = None);
+  check_bool "is_classical" true (Sim.is_classical c);
+  check_bool "is_classical H" false (Sim.is_classical with_h)
+
+let test_truth_table () =
+  (* A Toffoli computes AND of its controls onto a zero-initialized
+     target. *)
+  let c = Circuit.make ~n:3 [ Gate.Toffoli { c1 = 0; c2 = 1; target = 2 } ] in
+  let table = Sim.truth_table c ~inputs:[ 0; 1 ] ~output:2 in
+  check_bool "AND table" true (table = [| false; false; false; true |])
+
+let prop_classical_matches_dense =
+  (* For classical circuits the dense unitary is a permutation matrix
+     consistent with classical_run. *)
+  QCheck2.Test.make ~name:"classical_run matches dense simulation" ~count:40
+    (Testutil.gen_classical_circuit ~max_gates:10 3)
+    (fun c ->
+      List.for_all
+        (fun idx ->
+          let bits = Array.init 3 (fun q -> (idx lsr (2 - q)) land 1 = 1) in
+          match Sim.classical_run c bits with
+          | None -> false
+          | Some out ->
+            let out_idx =
+              Array.to_list out
+              |> List.fold_left (fun acc b -> (acc * 2) + if b then 1 else 0) 0
+            in
+            let state = Sim.run c (Sim.basis_state ~n:3 idx) in
+            Cx.is_one state.(out_idx))
+        (List.init 8 (fun i -> i)))
+
+let prop_run_preserves_norm =
+  QCheck2.Test.make ~name:"simulation preserves norm" ~count:40
+    (Testutil.gen_circuit ~max_gates:15 3)
+    (fun c ->
+      let out = Sim.run c (Sim.basis_state ~n:3 5) in
+      let norm2 =
+        Array.fold_left (fun acc z -> acc +. (Cx.norm z ** 2.0)) 0.0 out
+      in
+      abs_float (norm2 -. 1.0) < 1e-9)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "dense",
+        [
+          Alcotest.test_case "basis state" `Quick test_basis_state;
+          Alcotest.test_case "bell state" `Quick test_bell_state;
+          Alcotest.test_case "unitary embed" `Quick test_unitary_matches_embedded;
+          Alcotest.test_case "phase equivalence" `Quick
+            test_equivalent_global_phase;
+        ] );
+      ( "classical",
+        [
+          Alcotest.test_case "classical run" `Quick test_classical_run;
+          Alcotest.test_case "truth table" `Quick test_truth_table;
+          QCheck_alcotest.to_alcotest prop_classical_matches_dense;
+        ] );
+      ("norm", [ QCheck_alcotest.to_alcotest prop_run_preserves_norm ]);
+    ]
