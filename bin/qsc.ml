@@ -5,7 +5,8 @@
      devices     list the built-in device library
      complexity  coupling complexity of a custom map
      qmdd        print the QMDD of a circuit
-     check       formally compare two circuit files *)
+     check       formally compare two circuit files
+     lint        static diagnostics and device-legality findings *)
 
 open Cmdliner
 
@@ -67,6 +68,16 @@ let compile_cmd =
   let no_verify =
     Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip QMDD formal verification.")
   in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Audit every inter-stage handoff with the static pass contracts \
+             (native library after decomposition, device legality after \
+             routing, no gate-volume growth after optimization); abort on \
+             the first violation.")
+  in
   let place =
     Arg.(
       value & flag
@@ -95,8 +106,8 @@ let compile_cmd =
             "Custom linear cost-function weights (T count, CNOT count, gate \
              volume).  Default is the paper's Eqn. 2: 0.5,0.25,1.")
   in
-  let run input device custom_map qubits output no_optimize no_verify weights
-      place router =
+  let run input device custom_map qubits output no_optimize no_verify strict
+      weights place router =
     let resolve_device () =
       match (device, custom_map, qubits) with
       | Some d, None, _ -> Ok d
@@ -132,6 +143,7 @@ let compile_cmd =
           Compiler.router;
           Compiler.use_placement = place;
           Compiler.post_optimize = not no_optimize;
+          Compiler.check_contracts = strict;
           Compiler.verification =
             (if no_verify then Compiler.Skip
              else
@@ -150,13 +162,14 @@ let compile_cmd =
         if report.Compiler.verification = Compiler.Mismatch then
           Error (`Msg "formal verification FAILED: output is not equivalent")
         else Ok ()
-      | exception Compiler.Compile_error msg -> Error (`Msg msg))
+      | exception Compiler.Compile_error msg -> Error (`Msg msg)
+      | exception Lint.Contract.Violated msg -> Error (`Msg msg))
   in
   let term =
     Term.(
       term_result
         (const run $ input $ device $ custom_map $ qubits $ output $ no_optimize
-       $ no_verify $ weights $ place $ router))
+       $ no_verify $ strict $ weights $ place $ router))
   in
   Cmd.v
     (Cmd.info "compile"
@@ -270,6 +283,124 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Formally compare two circuits with QMDDs.")
     Term.(term_result (const run $ file 0 $ file 1 $ exact))
+
+(* --- lint --- *)
+
+let lint_cmd =
+  let input =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Circuit file (.qasm, .qc, .real).")
+  in
+  let device =
+    Arg.(
+      value
+      & opt (some device_conv) None
+      & info [ "d"; "device" ] ~docv:"DEVICE"
+          ~doc:
+            "Also check device legality: native library only, every CNOT on \
+             an allowed directed coupling.")
+  in
+  let custom_map =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "map" ] ~docv:"DICT"
+          ~doc:
+            "Custom coupling map in dictionary notation (requires \
+             $(b,--qubits)); exclusive with $(b,--device).")
+  in
+  let qubits =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "qubits" ] ~docv:"N" ~doc:"Register size of the custom map.")
+  in
+  let rules =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"CODES"
+          ~doc:
+            "Comma-separated rule codes to enable (default: all); see \
+             $(b,--list-rules).")
+  in
+  let list_rules =
+    Arg.(
+      value & flag
+      & info [ "list-rules" ] ~doc:"Print the rule table and exit.")
+  in
+  let run input device custom_map qubits rules list_rules =
+    if list_rules then begin
+      List.iter
+        (fun r ->
+          Format.printf "%-21s %s@." (Lint.Rule.code r) (Lint.Rule.describe r))
+        Lint.Rule.all;
+      Ok ()
+    end
+    else
+      let parse_rules () =
+        match rules with
+        | None -> Ok None
+        | Some spec ->
+          let codes = String.split_on_char ',' spec |> List.map String.trim in
+          let resolve acc code =
+            match (acc, Lint.Rule.of_code code) with
+            | Error _, _ -> acc
+            | Ok rs, Some r -> Ok (r :: rs)
+            | Ok _, None ->
+              Error
+                (`Msg
+                  (Printf.sprintf
+                     "unknown lint rule %S (see `qsc lint --list-rules')" code))
+          in
+          Result.map (fun rs -> Some (List.rev rs))
+            (List.fold_left resolve (Ok []) codes)
+      in
+      let resolve_device () =
+        match (device, custom_map, qubits) with
+        | Some d, None, _ -> Ok (Some d)
+        | None, Some map, Some n -> (
+          match Device.of_dict_string ~name:"custom" ~n_qubits:n map with
+          | d -> Ok (Some d)
+          | exception Invalid_argument msg -> Error (`Msg msg))
+        | None, Some _, None -> Error (`Msg "--map requires --qubits")
+        | None, None, _ -> Ok None
+        | Some _, Some _, _ -> Error (`Msg "--device and --map are exclusive")
+      in
+      match (input, parse_rules (), resolve_device ()) with
+      | None, _, _ -> Error (`Msg "missing FILE argument (or use --list-rules)")
+      | _, Error e, _ | _, _, Error e -> Error e
+      | Some input, Ok rules, Ok device -> (
+        match circuit_of_file input with
+        | Error e -> Error e
+        | Ok c ->
+          let findings = Lint.lint ?rules ?device c in
+          List.iter
+            (fun f -> Format.printf "%a@." Lint.pp_finding f)
+            findings;
+          let count sev =
+            List.length
+              (List.filter (fun f -> f.Lint.severity = sev) findings)
+          in
+          Format.printf "%d error(s), %d warning(s), %d info@." (count Lint.Error)
+            (count Lint.Warning) (count Lint.Info);
+          if Lint.has_errors findings then
+            Error
+              (`Msg
+                (Printf.sprintf "lint failed: %d error finding(s) in %s"
+                   (count Lint.Error) input))
+          else Ok ())
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static circuit diagnostics and device-legality findings; exits \
+          nonzero when any error-severity finding fires.")
+    Term.(
+      term_result
+        (const run $ input $ device $ custom_map $ qubits $ rules $ list_rules))
 
 (* --- stats --- *)
 
@@ -418,8 +549,8 @@ let main =
   in
   Cmd.group info
     [
-      compile_cmd; devices_cmd; complexity_cmd; qmdd_cmd; check_cmd; stats_cmd;
-      run_cmd;
+      compile_cmd; devices_cmd; complexity_cmd; qmdd_cmd; check_cmd; lint_cmd;
+      stats_cmd; run_cmd;
     ]
 
 let () = exit (Cmd.eval main)

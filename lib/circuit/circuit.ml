@@ -14,9 +14,11 @@ let make ~n gates =
   validate ~n gates;
   { n; gates }
 
+(* Empty list => the 1-qubit identity circuit; going through [make]
+   keeps every construction path behind the same validation. *)
 let of_gates gates =
   let n = 1 + List.fold_left (fun acc g -> max acc (Gate.max_qubit g)) 0 gates in
-  { n; gates }
+  make ~n gates
 
 let empty n = make ~n []
 let n_qubits c = c.n

@@ -13,7 +13,10 @@ type t
 val make : n:int -> Gate.t list -> t
 
 (** [of_gates gates] infers the width from the largest qubit used
-    (at least 1 qubit). *)
+    (at least 1 qubit).  Edge case: [of_gates []] is {e not} an error —
+    it is the 1-qubit identity circuit, the narrowest register the IR
+    admits ([Lint.Rule.Width_mismatch] reports it as declared-but-empty
+    padding). *)
 val of_gates : Gate.t list -> t
 
 (** [empty n] is the identity circuit on [n] qubits. *)
@@ -41,7 +44,14 @@ val inverse : t -> t
 val widen : t -> int -> t
 
 (** [rename f c] renames qubits through [f]; the width is re-inferred
-    from the renamed gates (at least [n_qubits c]). *)
+    from the renamed gates (at least [n_qubits c]).  The register never
+    shrinks: a rename mapping every gate below the old maximum keeps
+    the original width, leaving trailing unused wires (which
+    [Lint.Rule.Width_mismatch] flags) rather than silently renumbering
+    the register.  Use {!make} with the narrower [n] to shrink
+    deliberately.
+    @raise Invalid_argument if [f] merges two qubits of one gate (see
+    {!Gate.rename}). *)
 val rename : (int -> int) -> t -> t
 
 val equal : t -> t -> bool

@@ -16,6 +16,7 @@ type options = {
   post_optimize : bool;
   use_placement : bool;
   verification : verification_mode;
+  check_contracts : bool;
 }
 
 let default_options ~device =
@@ -27,6 +28,7 @@ let default_options ~device =
     post_optimize = true;
     use_placement = false;
     verification = Qmdd_check { node_budget = Some 8_000_000 };
+    check_contracts = false;
   }
 
 type verification_result =
@@ -139,6 +141,12 @@ let verify mode options ~route ~native ~unoptimized ~optimized reference =
 
 let compile options input =
   let device = options.device in
+  (* Contract audit points (--strict / check_contracts): each stage's
+     postcondition is checked where it fired, not at the final QMDD
+     equivalence, so a broken pass names itself. *)
+  let contract stage findings =
+    if options.check_contracts then Lint.Contract.enforce ~stage findings
+  in
   let circuit = front_end input in
   if Circuit.n_qubits circuit > Device.n_qubits device then
     raise
@@ -157,11 +165,14 @@ let compile options input =
     if options.pre_optimize then Optimize.optimize ~cost:Cost.eqn2 reference
     else reference
   in
+  contract "pre-optimize"
+    (Lint.Contract.after_optimize ~before:reference ~after:staged);
   let native =
     match Decompose.to_native staged with
     | c -> c
     | exception Decompose.Not_enough_qubits msg -> raise (Compile_error msg)
   in
+  contract "decompose" (Lint.Contract.after_decompose native);
   (* Placement relabels the register; verification then compares
      against the identically-relabelled reference. *)
   let placement =
@@ -186,6 +197,7 @@ let compile options input =
     | exception Route.Unroutable msg -> raise (Compile_error msg)
   in
   let unoptimized = Route.expand_swaps device routed_swaps in
+  contract "route" (Lint.Contract.after_route device unoptimized);
   let optimized =
     if options.post_optimize then begin
       (* Two-level optimization: first cancel whole CTR SWAPs (a
@@ -197,6 +209,10 @@ let compile options input =
     end
     else unoptimized
   in
+  contract "post-optimize"
+    (Lint.Contract.after_optimize ~before:unoptimized ~after:optimized);
+  contract "post-optimize"
+    (Lint.Contract.after_route device optimized);
   let elapsed_seconds = Sys.time () -. start in
   let unoptimized_cost = Cost.evaluate options.cost unoptimized in
   let optimized_cost = Cost.evaluate options.cost optimized in

@@ -56,6 +56,15 @@ type options = {
           shortens CTR SWAP paths (the paper's future-work
           optimization; off by default to match the published flow) *)
   verification : verification_mode;
+  check_contracts : bool;
+      (** audit every inter-stage handoff with the static pass
+          contracts of {!Lint.Contract}: after decomposition only
+          native gates, after routing device-legal, after each
+          optimization stage no gate-volume growth.  Raises
+          {!Lint.Contract.Violated} on the first broken contract —
+          catching a buggy pass where it fired rather than at the
+          final QMDD check.  Off by default; [qsc compile --strict]
+          turns it on. *)
 }
 
 (** [default_options ~device] : Eqn. 2 cost, the CTR router, both
@@ -104,7 +113,9 @@ exception Compile_error of string
 
 (** [compile options input] runs the full pipeline.
     @raise Compile_error when the circuit cannot fit the device or a
-    generalized Toffoli has no borrowable qubit. *)
+    generalized Toffoli has no borrowable qubit.
+    @raise Lint.Contract.Violated when [check_contracts] is set and a
+    stage hands over a circuit breaking its contract. *)
 val compile : options -> input -> report
 
 (** [parse_file path] dispatches on the extension ([.pla], [.qasm],

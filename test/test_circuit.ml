@@ -29,7 +29,29 @@ let test_make_validates () =
 let test_of_gates_infers_width () =
   let c = Circuit.of_gates [ Gate.Cnot { control = 4; target = 1 } ] in
   check_int "inferred width" 5 (Circuit.n_qubits c);
-  check_int "empty width" 1 (Circuit.n_qubits (Circuit.of_gates []))
+  (* The empty gate list is the 1-qubit identity, not an error. *)
+  let e = Circuit.of_gates [] in
+  check_int "empty width" 1 (Circuit.n_qubits e);
+  check_bool "empty circuit" true (Circuit.is_empty e);
+  check_int "empty depth" 0 (Circuit.depth e);
+  check_bool "empty equals Circuit.empty 1" true (Circuit.equal e (Circuit.empty 1))
+
+let test_rename_never_shrinks () =
+  (* Renaming every gate below the old maximum keeps the declared
+     width: trailing wires become unused padding instead of the
+     register silently renumbering. *)
+  let c = Circuit.make ~n:4 [ Gate.H 3; Gate.Cnot { control = 2; target = 3 } ] in
+  let r = Circuit.rename (fun q -> q - 2) c in
+  check_int "width preserved on shrinking rename" 4 (Circuit.n_qubits r);
+  check_bool "gates moved down" true
+    (Circuit.gates r = [ Gate.H 1; Gate.Cnot { control = 0; target = 1 } ]);
+  (* An expanding rename still grows the register as needed. *)
+  let g = Circuit.rename (fun q -> q + 3) c in
+  check_int "width grows" 7 (Circuit.n_qubits g);
+  (* A merging rename is rejected at the gate level. *)
+  Alcotest.check_raises "merging rename rejected"
+    (Invalid_argument "Gate.rename: renaming merges qubits") (fun () ->
+      ignore (Circuit.rename (fun _ -> 0) c))
 
 let test_concat_inverse () =
   let c = Circuit.concat sample (Circuit.inverse sample) in
@@ -173,6 +195,8 @@ let () =
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "validation" `Quick test_make_validates;
           Alcotest.test_case "of_gates" `Quick test_of_gates_infers_width;
+          Alcotest.test_case "rename never shrinks" `Quick
+            test_rename_never_shrinks;
           Alcotest.test_case "concat/inverse" `Quick test_concat_inverse;
           Alcotest.test_case "widen/rename" `Quick test_widen_rename;
           Alcotest.test_case "native check" `Quick test_native_check;

@@ -85,14 +85,18 @@ let test_dict_errors () =
   expect_invalid "{9:[1]}"
 
 let test_make_errors () =
-  let expect_invalid pairs =
-    match Device.make ~name:"bad" ~n_qubits:4 pairs with
-    | exception Invalid_argument _ -> ()
-    | _ -> Alcotest.fail "accepted invalid couplings"
+  (* Exact messages: they are part of the API surface users debug
+     coupling maps with. *)
+  let expect_message msg pairs =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (Device.make ~name:"bad" ~n_qubits:4 pairs))
   in
-  expect_invalid [ (0, 0) ];
-  expect_invalid [ (0, 9) ];
-  expect_invalid [ (0, 1); (0, 1) ]
+  expect_message "Device.make: self-coupling" [ (0, 0) ];
+  expect_message "Device.make: coupling (0,9) outside register" [ (0, 9) ];
+  expect_message "Device.make: duplicate coupling (0,1)" [ (0, 1); (0, 1) ];
+  Alcotest.check_raises "zero-qubit register"
+    (Invalid_argument "Device.make: need at least one qubit") (fun () ->
+      ignore (Device.make ~name:"bad" ~n_qubits:0 []))
 
 let test_tokyo20 () =
   let d = Device.Ibm.tokyo20 in

@@ -20,6 +20,19 @@ let test_path_errors () =
   Alcotest.check_raises "control = target"
     (Invalid_argument "Route.ctr_path: control = target") (fun () ->
       ignore (Route.ctr_path Device.Ibm.ibmqx2 ~control:2 ~target:2));
+  Alcotest.check_raises "target outside device"
+    (Invalid_argument "Route.ctr_path: qubit outside device") (fun () ->
+      ignore (Route.ctr_path Device.Ibm.ibmqx2 ~control:0 ~target:7));
+  Alcotest.check_raises "negative control"
+    (Invalid_argument "Route.ctr_path: qubit outside device") (fun () ->
+      ignore (Route.ctr_path Device.Ibm.ibmqx2 ~control:(-1) ~target:2));
+  Alcotest.check_raises "weighted variant checks range too"
+    (Invalid_argument "Route.ctr_path_weighted: qubit outside device")
+    (fun () ->
+      ignore
+        (Route.ctr_path_weighted Device.Ibm.ibmqx2
+           ~weight:(fun _ _ -> 1.0)
+           ~control:0 ~target:7));
   let disconnected =
     Device.make ~name:"disc" ~n_qubits:4 [ (0, 1); (2, 3) ]
   in
