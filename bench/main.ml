@@ -593,6 +593,86 @@ let workloads () =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable baseline: BENCH_compile.json                        *)
+
+(* One traced compile per benchmark circuit; the JSON document is the
+   regression baseline CI archives — per-pass wall times, gate metrics
+   and pass counters for every benchmark, parseable without scraping
+   the human tables above. *)
+let bench_compile_json () =
+  let compile_traced ~suite ~name ~device ~verification circuit =
+    let trace = Trace.create () in
+    let options =
+      { (Compiler.default_options ~device) with Compiler.verification }
+    in
+    let report =
+      Compiler.compile ~trace options (Compiler.Quantum circuit)
+    in
+    Printf.printf "  %-12s %-12s -> %-7s %8.3fs  %s\n%!" suite name
+      (Device.name device) report.Compiler.elapsed_seconds
+      (Compiler.verification_to_string report.Compiler.verification);
+    Compiler.report_to_json
+      ~meta:
+        [
+          ("suite", Trace.Json.String suite);
+          ("name", Trace.Json.String name);
+          ("device", Trace.Json.String (Device.name device));
+        ]
+      report
+  in
+  let default_verification device =
+    (Compiler.default_options ~device).Compiler.verification
+  in
+  let single_target =
+    List.map
+      (fun b ->
+        let device = Device.Ibm.ibmqx5 in
+        compile_traced ~suite:"single-target"
+          ~name:b.Benchsuite.Single_target.name ~device
+          ~verification:(default_verification device)
+          (Benchsuite.Single_target.circuit b))
+      Benchsuite.Single_target.all
+  in
+  let revlib =
+    List.map
+      (fun b ->
+        let device = Device.Ibm.ibmqx5 in
+        compile_traced ~suite:"revlib"
+          ~name:b.Benchsuite.Revlib_cascades.name ~device
+          ~verification:(default_verification device)
+          (Benchsuite.Revlib_cascades.circuit b))
+      Benchsuite.Revlib_cascades.all
+  in
+  let big96 =
+    (* The 96-qubit verifications take minutes each; the baseline is
+       about compile timings, so they run unverified here (table8
+       exercises the full proofs). *)
+    List.map
+      (fun b ->
+        compile_traced ~suite:"big-cascades"
+          ~name:b.Benchsuite.Big_cascades.name ~device:Device.Ibm.big96
+          ~verification:Compiler.Skip
+          (Benchsuite.Big_cascades.circuit b))
+      Benchsuite.Big_cascades.all
+  in
+  Trace.Json.Obj
+    [
+      ("schema", Trace.Json.String "qsynth-bench-compile/v1");
+      ("generated_at_unix", Trace.Json.Float (Unix.time ()));
+      ("benchmarks", Trace.Json.List (single_target @ revlib @ big96));
+    ]
+
+let bench_compile_file = "BENCH_compile.json"
+
+let write_bench_compile () =
+  Printf.printf "\ncompile baselines (%s):\n" bench_compile_file;
+  let doc = bench_compile_json () in
+  Out_channel.with_open_text bench_compile_file (fun oc ->
+      output_string oc (Trace.Json.to_string ~pretty:true doc);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n%!" bench_compile_file
+
+(* ------------------------------------------------------------------ *)
 (* Timing with Bechamel: one Test.make per table                        *)
 
 let timing () =
@@ -684,7 +764,8 @@ let timing () =
     (fun (name, ns) -> Printf.printf "  %-42s %12.3f ms/run\n" name (ns /. 1e6))
     rows;
   Printf.printf
-    "\n(The paper reports ~10^-2 s for most benchmarks, none above ~6.5 s.)\n"
+    "\n(The paper reports ~10^-2 s for most benchmarks, none above ~6.5 s.)\n";
+  write_bench_compile ()
 
 (* ------------------------------------------------------------------ *)
 

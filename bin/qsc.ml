@@ -106,8 +106,23 @@ let compile_cmd =
             "Custom linear cost-function weights (T count, CNOT count, gate \
              volume).  Default is the paper's Eqn. 2: 0.5,0.25,1.")
   in
+  let trace_mode =
+    Arg.(
+      value
+      & opt
+          ~vopt:(Some `Text)
+          (some (enum [ ("text", `Text); ("json", `Json) ]))
+          None
+      & info [ "trace" ] ~docv:"FORMAT"
+          ~doc:
+            "Record per-pass spans (wall time, gate volume, depth, T count, \
+             CNOT count, cost, pass counters).  $(b,text) appends a table to \
+             the report; $(b,json) replaces all stdout output with one JSON \
+             document (use $(b,-o) for the QASM).  Defaults to $(b,text) \
+             when given without a value.")
+  in
   let run input device custom_map qubits output no_optimize no_verify strict
-      weights place router =
+      weights place router trace_mode =
     let resolve_device () =
       match (device, custom_map, qubits) with
       | Some d, None, _ -> Ok d
@@ -150,15 +165,48 @@ let compile_cmd =
                (Compiler.default_options ~device:dev).Compiler.verification);
         }
       in
-      match Compiler.compile options (Compiler.parse_file input) with
+      let trace =
+        match trace_mode with
+        | None -> Trace.disabled
+        | Some _ -> Trace.create ()
+      in
+      match Compiler.compile ~trace options (Compiler.parse_file input) with
       | report ->
-        Format.printf "%a" Compiler.pp_report report;
         let qasm = Compiler.emit_qasm report in
-        (match output with
-        | Some path ->
-          Out_channel.with_open_text path (fun oc -> output_string oc qasm);
-          Format.printf "wrote %s@." path
-        | None -> print_string qasm);
+        let write_output () =
+          match output with
+          | Some path ->
+            Out_channel.with_open_text path (fun oc -> output_string oc qasm);
+            Some path
+          | None -> None
+        in
+        (match trace_mode with
+        | Some `Json ->
+          (* JSON mode owns stdout: the document is the only output, so
+             it can be piped straight into a parser.  QASM goes to -o. *)
+          let written = write_output () in
+          let meta =
+            [
+              ("schema", Trace.Json.String "qsynth-trace/v1");
+              ("input", Trace.Json.String input);
+              ("device", Trace.Json.String (Device.name dev));
+            ]
+            @
+            match written with
+            | Some path -> [ ("output", Trace.Json.String path) ]
+            | None -> []
+          in
+          print_endline
+            (Trace.Json.to_string ~pretty:true
+               (Compiler.report_to_json ~cost ~meta report))
+        | Some `Text | None ->
+          Format.printf "%a" Compiler.pp_report report;
+          (match trace_mode with
+          | Some `Text -> print_string (Trace.to_text report.Compiler.trace)
+          | Some `Json | None -> ());
+          (match write_output () with
+          | Some path -> Format.printf "wrote %s@." path
+          | None -> print_string qasm));
         if report.Compiler.verification = Compiler.Mismatch then
           Error (`Msg "formal verification FAILED: output is not equivalent")
         else Ok ()
@@ -169,7 +217,7 @@ let compile_cmd =
     Term.(
       term_result
         (const run $ input $ device $ custom_map $ qubits $ output $ no_optimize
-       $ no_verify $ strict $ weights $ place $ router))
+       $ no_verify $ strict $ weights $ place $ router $ trace_mode))
   in
   Cmd.v
     (Cmd.info "compile"

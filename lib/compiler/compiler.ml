@@ -53,7 +53,11 @@ type report = {
   verification : verification_result;
   elapsed_seconds : float;
   verification_seconds : float;
+  trace : Trace.span list;
 }
+
+let wall_seconds_since t0_ns =
+  Int64.to_float (Int64.sub (Trace.now_ns ()) t0_ns) /. 1e9
 
 exception Compile_error of string
 
@@ -67,9 +71,11 @@ let front_end = function
    optimized.  The three diagrams stay small where the single-shot
    miter explodes; chaining the equivalences gives
    reference = optimized. *)
-let verify_staged ~node_budget ~route device native unoptimized optimized
-    reference =
-  let eq a b = Qmdd.equivalent ~up_to_phase:false ?node_budget a b in
+let verify_staged ~node_budget ~qmdd_stats ~route device native unoptimized
+    optimized reference =
+  let eq a b =
+    Qmdd.equivalent ~up_to_phase:false ?node_budget ?stats:qmdd_stats a b
+  in
   let n = Device.n_qubits device in
   let blocks =
     List.map
@@ -94,14 +100,39 @@ let verify_staged ~node_budget ~route device native unoptimized optimized
   else if eq unoptimized optimized then Verified_staged
   else Mismatch
 
-let verify mode options ~route ~native ~unoptimized ~optimized reference =
+let verify mode options ~trace ~route ~native ~unoptimized ~optimized
+    reference =
   match mode with
   | Skip -> (Skipped, 0.0)
   | Qmdd_check { node_budget } ->
-    let start = Sys.time () in
+    let sp = Trace.start trace "verify" in
+    let t0 = Trace.now_ns () in
+    (* Aggregate QMDD manager counters over every equivalence check the
+       strategy ends up running (the staged proof runs many). *)
+    let checks = ref 0
+    and peak_nodes = ref 0
+    and allocated = ref 0
+    and mul_hits = ref 0
+    and mul_misses = ref 0
+    and add_hits = ref 0
+    and add_misses = ref 0 in
+    let qmdd_stats =
+      if Trace.enabled trace then
+        Some
+          (fun (s : Qmdd.stats) ->
+            incr checks;
+            peak_nodes := max !peak_nodes s.Qmdd.peak_unique_nodes;
+            allocated := !allocated + s.Qmdd.allocated;
+            mul_hits := !mul_hits + s.Qmdd.mul_cache_hits;
+            mul_misses := !mul_misses + s.Qmdd.mul_cache_misses;
+            add_hits := !add_hits + s.Qmdd.add_cache_hits;
+            add_misses := !add_misses + s.Qmdd.add_cache_misses)
+      else None
+    in
     let direct () =
       match
-        Qmdd.equivalent ~up_to_phase:false ?node_budget reference optimized
+        Qmdd.equivalent ~up_to_phase:false ?node_budget ?stats:qmdd_stats
+          reference optimized
       with
       | true -> Verified
       | false -> Mismatch
@@ -118,8 +149,8 @@ let verify mode options ~route ~native ~unoptimized ~optimized reference =
       if not stateless_router then Budget_exceeded
       else
         match
-          verify_staged ~node_budget ~route options.device native unoptimized
-            optimized reference
+          verify_staged ~node_budget ~qmdd_stats ~route options.device native
+            unoptimized optimized reference
         with
         | outcome -> outcome
         | exception Qmdd.Node_budget_exceeded -> Budget_exceeded
@@ -137,24 +168,40 @@ let verify mode options ~route ~native ~unoptimized ~optimized reference =
         | Budget_exceeded -> staged ()
         | outcome -> outcome
     in
-    (outcome, Sys.time () -. start)
+    let elapsed = wall_seconds_since t0 in
+    Trace.stop_with trace sp ~cost:options.cost
+      ~counters:
+        [
+          ("qmdd_checks", float_of_int !checks);
+          ("qmdd_peak_unique_nodes", float_of_int !peak_nodes);
+          ("qmdd_allocated_nodes", float_of_int !allocated);
+          ("qmdd_mul_cache_hits", float_of_int !mul_hits);
+          ("qmdd_mul_cache_misses", float_of_int !mul_misses);
+          ("qmdd_add_cache_hits", float_of_int !add_hits);
+          ("qmdd_add_cache_misses", float_of_int !add_misses);
+        ]
+      optimized;
+    (outcome, elapsed)
 
-let compile options input =
+let compile ?(trace = Trace.disabled) options input =
   let device = options.device in
+  let cost = options.cost in
   (* Contract audit points (--strict / check_contracts): each stage's
      postcondition is checked where it fired, not at the final QMDD
      equivalence, so a broken pass names itself. *)
   let contract stage findings =
     if options.check_contracts then Lint.Contract.enforce ~stage findings
   in
+  let sp = Trace.start trace "front-end" in
   let circuit = front_end input in
+  Trace.stop_with trace sp ~cost circuit;
   if Circuit.n_qubits circuit > Device.n_qubits device then
     raise
       (Compile_error
          (Printf.sprintf "circuit needs %d qubits but %s has only %d"
             (Circuit.n_qubits circuit) (Device.name device)
             (Device.n_qubits device)));
-  let start = Sys.time () in
+  let t0 = Trace.now_ns () in
   (* Widening to the device register first gives generalized-Toffoli
      decomposition its borrowable qubits. *)
   let reference = Circuit.widen circuit (Device.n_qubits device) in
@@ -162,22 +209,40 @@ let compile options input =
     (* The technology-independent stage always optimizes by gate counts
        (Eqn. 2): hardware-aware costs like per-coupling fidelity are
        only meaningful once gates sit on physical qubits. *)
-    if options.pre_optimize then Optimize.optimize ~cost:Cost.eqn2 reference
+    if options.pre_optimize then begin
+      let sp = Trace.start_with trace "pre-optimize" ~cost reference in
+      let staged =
+        Optimize.optimize ~cost:Cost.eqn2 ~trace ~stage:"pre-optimize"
+          reference
+      in
+      Trace.stop_with trace sp ~cost staged;
+      staged
+    end
     else reference
   in
   contract "pre-optimize"
     (Lint.Contract.after_optimize ~before:reference ~after:staged);
+  let sp = Trace.start_with trace "decompose" ~cost staged in
   let native =
     match Decompose.to_native staged with
     | c -> c
     | exception Decompose.Not_enough_qubits msg -> raise (Compile_error msg)
   in
+  Trace.stop_with trace sp ~cost native;
   contract "decompose" (Lint.Contract.after_decompose native);
   (* Placement relabels the register; verification then compares
      against the identically-relabelled reference. *)
   let placement =
-    if options.use_placement && not (Device.is_simulator device) then
-      Some (Place.choose device native)
+    if options.use_placement && not (Device.is_simulator device) then begin
+      let sp = Trace.start trace "place" in
+      let a = Place.choose device native in
+      let moved = ref 0 in
+      Array.iteri (fun l p -> if l <> p then incr moved) a;
+      Trace.stop trace sp
+        ~counters:[ ("moved_qubits", float_of_int !moved) ]
+        ();
+      Some a
+    end
     else None
   in
   let native, reference =
@@ -185,27 +250,57 @@ let compile options input =
     | Some a -> (Place.apply a native, Place.apply a reference)
     | None -> (native, reference)
   in
-  let route =
+  let route ?stats d c =
     match options.router with
-    | Ctr -> Route.route_circuit_swaps
-    | Weighted_ctr weight -> Route.route_circuit_swaps_weighted ~weight
-    | Tracking -> Route.route_circuit_tracking
+    | Ctr -> Route.route_circuit_swaps ?stats d c
+    | Weighted_ctr weight -> Route.route_circuit_swaps_weighted ?stats d ~weight c
+    | Tracking -> Route.route_circuit_tracking ?stats d c
   in
+  (* The verifier reroutes gates blockwise for the staged proof; those
+     repeats must not inflate the route pass's counters. *)
+  let route_for_verify d c = route d c in
+  let route_stats =
+    if Trace.enabled trace then Some (Route.new_stats ()) else None
+  in
+  let sp = Trace.start_with trace "route" ~cost native in
   let routed_swaps =
-    match route device native with
+    match route ?stats:route_stats device native with
     | c -> c
     | exception Route.Unroutable msg -> raise (Compile_error msg)
   in
+  let route_counters =
+    match route_stats with
+    | None -> []
+    | Some s ->
+      [
+        ("rerouted_cnots", float_of_int s.Route.rerouted_cnots);
+        ("reversed_cnots", float_of_int s.Route.reversed_cnots);
+        ("swaps_inserted", float_of_int s.Route.swaps_inserted);
+        ("swap_hops", float_of_int s.Route.swap_hops);
+        ("max_path_hops", float_of_int s.Route.max_path_hops);
+      ]
+  in
+  Trace.stop_with trace sp ~cost ~counters:route_counters routed_swaps;
+  let sp = Trace.start_with trace "expand-swaps" ~cost routed_swaps in
   let unoptimized = Route.expand_swaps device routed_swaps in
+  Trace.stop_with trace sp ~cost unoptimized;
   contract "route" (Lint.Contract.after_route device unoptimized);
   let optimized =
     if options.post_optimize then begin
       (* Two-level optimization: first cancel whole CTR SWAPs (a
          swap-back annihilates the next gate's swap-forward), then
          expand the survivors to CNOTs and optimize at gate level. *)
-      let swap_level = Optimize.optimize ~device ~cost:options.cost routed_swaps in
-      Optimize.optimize ~device ~cost:options.cost
-        (Route.expand_swaps device swap_level)
+      let sp = Trace.start_with trace "post-optimize" ~cost routed_swaps in
+      let swap_level =
+        Optimize.optimize ~device ~cost ~trace ~stage:"post-optimize/swap-level"
+          routed_swaps
+      in
+      let optimized =
+        Optimize.optimize ~device ~cost ~trace ~stage:"post-optimize/gate-level"
+          (Route.expand_swaps device swap_level)
+      in
+      Trace.stop_with trace sp ~cost optimized;
+      optimized
     end
     else unoptimized
   in
@@ -213,12 +308,12 @@ let compile options input =
     (Lint.Contract.after_optimize ~before:unoptimized ~after:optimized);
   contract "post-optimize"
     (Lint.Contract.after_route device optimized);
-  let elapsed_seconds = Sys.time () -. start in
-  let unoptimized_cost = Cost.evaluate options.cost unoptimized in
-  let optimized_cost = Cost.evaluate options.cost optimized in
+  let elapsed_seconds = wall_seconds_since t0 in
+  let unoptimized_cost = Cost.evaluate cost unoptimized in
+  let optimized_cost = Cost.evaluate cost optimized in
   let verification, verification_seconds =
-    verify options.verification options ~route ~native ~unoptimized ~optimized
-      reference
+    verify options.verification options ~trace ~route:route_for_verify ~native
+      ~unoptimized ~optimized reference
   in
   {
     reference;
@@ -232,12 +327,20 @@ let compile options input =
     verification;
     elapsed_seconds;
     verification_seconds;
+    trace = Trace.spans trace;
   }
 
 let extension path =
-  match String.rindex_opt path '.' with
-  | None -> ""
-  | Some i -> String.lowercase_ascii (String.sub path i (String.length path - i))
+  (* Only the basename may contribute the dot: a path like
+     "runs.v2/adder" has no extension, not ".v2/adder".  A trailing
+     separator names a directory, which has none either. *)
+  if path = "" || path.[String.length path - 1] = '/' then ""
+  else
+    let base = Filename.basename path in
+    match String.rindex_opt base '.' with
+    | None -> ""
+    | Some i ->
+      String.lowercase_ascii (String.sub base i (String.length base - i))
 
 let parse_file path =
   let parse_error fmt_name msg =
@@ -297,13 +400,53 @@ let pp_report fmt r =
       Array.to_list (Array.mapi (fun l p -> (l, p)) a)
       |> List.filter (fun (l, p) -> l <> p)
     in
-    Format.fprintf fmt "  placement    %s@\n"
+    let shown = List.filteri (fun i _ -> i < 12) moved in
+    let hidden = List.length moved - List.length shown in
+    Format.fprintf fmt "  placement    %s%s@\n"
       (if moved = [] then "identity"
        else
          String.concat ", "
-           (List.map (fun (l, p) -> Printf.sprintf "q%d->q%d" l p)
-              (List.filteri (fun i _ -> i < 12) moved))));
+           (List.map (fun (l, p) -> Printf.sprintf "q%d->q%d" l p) shown))
+      (if hidden > 0 then Printf.sprintf " … (+%d more)" hidden else ""));
   Format.fprintf fmt "  verification %s (%.3fs)@\n"
     (verification_to_string r.verification)
     r.verification_seconds;
   Format.fprintf fmt "  synthesis    %.3fs@\n" r.elapsed_seconds
+
+let verification_tag = function
+  | Verified -> "verified"
+  | Verified_staged -> "verified-staged"
+  | Mismatch -> "mismatch"
+  | Budget_exceeded -> "budget-exceeded"
+  | Skipped -> "skipped"
+
+let report_to_json ?(cost = Cost.eqn2) ?(meta = []) r =
+  let open Trace in
+  let circuit label c c_cost =
+    let snapshot_fields =
+      match Trace.snapshot_to_json (Trace.snapshot ~cost c) with
+      | Json.Obj fields -> List.filter (fun (k, _) -> k <> "cost") fields
+      | _ -> []
+    in
+    ( label,
+      Json.Obj
+        (("n_qubits", Json.Int (Circuit.n_qubits c))
+        :: snapshot_fields
+        @ [ ("cost", Json.Float c_cost) ]) )
+  in
+  Json.Obj
+    (meta
+    @ [
+        circuit "unoptimized" r.unoptimized r.unoptimized_cost;
+        circuit "optimized" r.optimized r.optimized_cost;
+        ("percent_decrease", Json.Float r.percent_decrease);
+        ( "placement",
+          match r.placement with
+          | None -> Json.Null
+          | Some a ->
+            Json.List (Array.to_list (Array.map (fun p -> Json.Int p) a)) );
+        ("verification", Json.String (verification_tag r.verification));
+        ("elapsed_seconds", Json.Float r.elapsed_seconds);
+        ("verification_seconds", Json.Float r.verification_seconds);
+        ("passes", Json.List (List.map Trace.span_to_json r.trace));
+      ])

@@ -105,18 +105,39 @@ type report = {
   optimized_cost : float;
   percent_decrease : float;
   verification : verification_result;
-  elapsed_seconds : float;  (** synthesis CPU time, excluding verification *)
-  verification_seconds : float;
+  elapsed_seconds : float;
+      (** synthesis wall-clock time (monotonic), excluding the front-end
+          and verification *)
+  verification_seconds : float;  (** verification wall-clock time *)
+  trace : Trace.span list;
+      (** per-pass spans recorded during compilation; [[]] when compiled
+          with the default disabled sink *)
 }
 
 exception Compile_error of string
 
-(** [compile options input] runs the full pipeline.
+(** [compile ?trace options input] runs the full pipeline.
+
+    When [trace] is a recording sink (default {!Trace.disabled}), every
+    stage records a span — ["front-end"], ["pre-optimize"] (plus one
+    ["pre-optimize/iteration-<i>"] per fixpoint sweep), ["decompose"],
+    ["place"], ["route"] (with CTR counters: rerouted/reversed CNOTs,
+    SWAPs inserted, path hops), ["expand-swaps"], ["post-optimize"]
+    (with ["post-optimize/swap-level/..."] and
+    ["post-optimize/gate-level/..."] iterations), and ["verify"] (with
+    QMDD unique-table and operation-cache counters) — each with
+    before/after circuit snapshots under [options.cost].
+
     @raise Compile_error when the circuit cannot fit the device or a
     generalized Toffoli has no borrowable qubit.
     @raise Lint.Contract.Violated when [check_contracts] is set and a
     stage hands over a circuit breaking its contract. *)
-val compile : options -> input -> report
+val compile : ?trace:Trace.t -> options -> input -> report
+
+(** [extension path] is the lowercased extension of [path]'s basename,
+    dot included ([""] when there is none).  Dots in directory names
+    never count: [extension "runs.v2/adder" = ""]. *)
+val extension : string -> string
 
 (** [parse_file path] dispatches on the extension ([.pla], [.qasm],
     [.qc], [.real]).
@@ -130,3 +151,15 @@ val emit_qasm : report -> string
 val verification_to_string : verification_result -> string
 
 val pp_report : Format.formatter -> report -> unit
+
+(** [report_to_json ?cost ?meta r] renders the report as a JSON object:
+    [meta] fields first (e.g. benchmark name, device), then
+    ["unoptimized"] / ["optimized"] snapshot objects (gate volume,
+    depth, T-count, T-depth, CNOT count, cost), ["percent_decrease"],
+    ["placement"] (array or null), ["verification"] tag,
+    ["elapsed_seconds"], ["verification_seconds"], and ["passes"] — the
+    trace spans via {!Trace.span_to_json}.  Snapshots are evaluated
+    under [cost] (default {!Cost.eqn2}); pass the compile cost for
+    consistency with the trace. *)
+val report_to_json :
+  ?cost:Cost.t -> ?meta:(string * Trace.Json.t) list -> report -> Trace.Json.t

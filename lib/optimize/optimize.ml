@@ -226,13 +226,24 @@ let remove_identity_windows ?(max_window = 6) c =
   in
   Circuit.make ~n:(Circuit.n_qubits c) (go (Circuit.gates c))
 
-let optimize ?device ?(cost = Cost.eqn2) c =
+let optimize ?device ?(cost = Cost.eqn2) ?(trace = Trace.disabled)
+    ?(stage = "optimize") c =
   let pass circuit =
     circuit |> cancel_pass |> rewrite_pass ?device |> remove_identity_windows
   in
-  let rec loop best best_cost =
+  (* One span per fixpoint iteration, the rejected final sweep included:
+     its wall time is paid whether or not the result is kept. *)
+  let rec loop i best best_cost =
+    let sp =
+      Trace.start_with trace (Printf.sprintf "%s/iteration-%d" stage i) ~cost
+        best
+    in
     let candidate = pass best in
     let candidate_cost = Cost.evaluate cost candidate in
-    if candidate_cost < best_cost then loop candidate candidate_cost else best
+    let improved = candidate_cost < best_cost in
+    Trace.stop_with trace sp ~cost
+      ~counters:[ ("improved", if improved then 1.0 else 0.0) ]
+      candidate;
+    if improved then loop (i + 1) candidate candidate_cost else best
   in
-  loop c (Cost.evaluate cost c)
+  loop 1 c (Cost.evaluate cost c)

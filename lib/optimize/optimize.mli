@@ -44,7 +44,19 @@ val rewrite_pass : ?device:Device.t -> Circuit.t -> Circuit.t
     qubits) whose product is exactly the identity. *)
 val remove_identity_windows : ?max_window:int -> Circuit.t -> Circuit.t
 
-(** [optimize ?device ?cost c] runs all passes to a fixed point of the
-    cost function (default {!Cost.eqn2}) and returns the cheapest
-    circuit seen.  Guaranteed not to cost more than the input. *)
-val optimize : ?device:Device.t -> ?cost:Cost.t -> Circuit.t -> Circuit.t
+(** [optimize ?device ?cost ?trace ?stage c] runs all passes to a fixed
+    point of the cost function (default {!Cost.eqn2}) and returns the
+    cheapest circuit seen.  Guaranteed not to cost more than the input.
+
+    When [trace] is a recording sink, every fixpoint iteration records
+    one span named ["<stage>/iteration-<i>"] (default stage
+    ["optimize"]) with before/after snapshots under [cost] and an
+    [improved] counter — the final, rejected sweep included, since its
+    time is spent either way. *)
+val optimize :
+  ?device:Device.t ->
+  ?cost:Cost.t ->
+  ?trace:Trace.t ->
+  ?stage:string ->
+  Circuit.t ->
+  Circuit.t

@@ -16,6 +16,23 @@ type manager = {
   mutable identity_from : edge array;
       (* identity_from.(v) = identity over variables v .. n-1 *)
   mutable budget : int option;
+  (* Observability counters (see [stats]): plain int bumps on paths that
+     already pay for a hashtable probe, so they stay on unconditionally. *)
+  mutable peak_unique : int;
+  mutable mul_hits : int;
+  mutable mul_misses : int;
+  mutable add_hits : int;
+  mutable add_misses : int;
+}
+
+type stats = {
+  unique_nodes : int;
+  peak_unique_nodes : int;
+  allocated : int;
+  mul_cache_hits : int;
+  mul_cache_misses : int;
+  add_cache_hits : int;
+  add_cache_misses : int;
 }
 
 exception Node_budget_exceeded
@@ -61,10 +78,26 @@ let create ~n =
     next_id = 1;
     identity_from = [||];
     budget = None;
+    peak_unique = 0;
+    mul_hits = 0;
+    mul_misses = 0;
+    add_hits = 0;
+    add_misses = 0;
   }
 
 let n_vars m = m.n
 let allocated_nodes m = m.next_id
+
+let stats m =
+  {
+    unique_nodes = Hashtbl.length m.unique;
+    peak_unique_nodes = m.peak_unique;
+    allocated = m.next_id;
+    mul_cache_hits = m.mul_hits;
+    mul_cache_misses = m.mul_misses;
+    add_cache_hits = m.add_hits;
+    add_cache_misses = m.add_misses;
+  }
 
 let zero_edge m = { w = Cx.zero; node = m.terminal }
 let terminal_one m = { w = Cx.one; node = m.terminal }
@@ -111,6 +144,8 @@ let make_node m var edges =
         let node = { id = m.next_id; var; edges = normalized } in
         m.next_id <- m.next_id + 1;
         Hashtbl.add m.unique key node;
+        let live = Hashtbl.length m.unique in
+        if live > m.peak_unique then m.peak_unique <- live;
         node
     in
     { w = norm; node }
@@ -158,8 +193,11 @@ let rec add m a b =
     let key = (a.node.id, b.node.id, Cx.round_key ratio) in
     let unit_result =
       match Hashtbl.find_opt m.add_cache key with
-      | Some r -> r
+      | Some r ->
+        m.add_hits <- m.add_hits + 1;
+        r
       | None ->
+        m.add_misses <- m.add_misses + 1;
         let children =
           Array.init 4 (fun k ->
               add m a.node.edges.(k) (scale_edge m ratio b.node.edges.(k)))
@@ -181,8 +219,11 @@ let rec multiply m a b =
     let key = (a.node.id, b.node.id) in
     let unit_result =
       match Hashtbl.find_opt m.mul_cache key with
-      | Some r -> r
+      | Some r ->
+        m.mul_hits <- m.mul_hits + 1;
+        r
       | None ->
+        m.mul_misses <- m.mul_misses + 1;
         (* Quadrant (i,j) of the product is sum_k A(i,k) * B(k,j). *)
         let quadrant i j =
           add m
@@ -316,7 +357,10 @@ let first_use_relabeling c1 c2 =
   done;
   fun q -> order.(q)
 
-let equivalent ?(up_to_phase = true) ?node_budget ?(reorder = true) c1 c2 =
+let manager_stats = stats
+
+let equivalent ?(up_to_phase = true) ?node_budget ?(reorder = true) ?stats c1
+    c2 =
   if Circuit.n_qubits c1 <> Circuit.n_qubits c2 then
     invalid_arg "Qmdd.equivalent: width mismatch";
   let c1, c2 =
@@ -327,6 +371,14 @@ let equivalent ?(up_to_phase = true) ?node_budget ?(reorder = true) c1 c2 =
     else (c1, c2)
   in
   let m = create ~n:(Circuit.n_qubits c1) in
+  (* The observer fires even when the budget blows up mid-check, so a
+     trace records how large the diagram got before giving up. *)
+  let observe () =
+    match stats with
+    | None -> ()
+    | Some f -> f (manager_stats m)
+  in
+  Fun.protect ~finally:observe (fun () ->
   with_budget m node_budget (fun () ->
       (* Alternating scheme: gates of c1 left-multiplied, adjoints of c2
          right-multiplied, interleaved in proportion so the intermediate
@@ -352,7 +404,7 @@ let equivalent ?(up_to_phase = true) ?node_budget ?(reorder = true) c1 c2 =
         end
       done;
       if up_to_phase then is_identity_up_to_phase m !acc
-      else is_identity m !acc)
+      else is_identity m !acc))
 
 let adjoint m e =
   (* Transpose the quadrant structure (U01 <-> U10) and conjugate the

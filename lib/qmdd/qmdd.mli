@@ -32,6 +32,22 @@ val n_vars : manager -> int
     cheap proxy for memory pressure, used by node budgets. *)
 val allocated_nodes : manager -> int
 
+(** Observability counters kept by every manager.  The counters are
+    plain integer bumps on paths that already pay for a hashtable
+    probe, so they are always on — reading them costs one O(1) record
+    build. *)
+type stats = {
+  unique_nodes : int;  (** live unique-table size right now *)
+  peak_unique_nodes : int;  (** high-water mark of the unique table *)
+  allocated : int;  (** cumulative hash-consed nodes (= node budget meter) *)
+  mul_cache_hits : int;
+  mul_cache_misses : int;
+  add_cache_hits : int;
+  add_cache_misses : int;
+}
+
+val stats : manager -> stats
+
 (** Raised by operations when the manager's allocation exceeds the
     budget given to {!equivalent} / {!of_circuit}. *)
 exception Node_budget_exceeded
@@ -86,12 +102,18 @@ val is_identity_up_to_phase : manager -> edge -> bool
     common relabeling, and clustered orders keep intermediate diagrams
     exponentially smaller on wide, locally-acting circuits (the
     96-qubit benchmarks).
+
+    [stats], when given, receives the internal manager's {!stats} once
+    the check finishes — including when it aborts on
+    [Node_budget_exceeded], so traces can record how large the diagram
+    grew before giving up.
     @raise Node_budget_exceeded when the optional budget is exceeded.
     @raise Invalid_argument when widths differ. *)
 val equivalent :
   ?up_to_phase:bool ->
   ?node_budget:int ->
   ?reorder:bool ->
+  ?stats:(stats -> unit) ->
   Circuit.t ->
   Circuit.t ->
   bool

@@ -1,5 +1,29 @@
 exception Unroutable of string
 
+(* Routing observability: filled in by the routers when the caller
+   hands one over, untouched (and unallocated) otherwise. *)
+type stats = {
+  mutable rerouted_cnots : int;
+  mutable reversed_cnots : int;
+  mutable swaps_inserted : int;
+  mutable swap_hops : int;
+  mutable max_path_hops : int;
+}
+
+let new_stats () =
+  {
+    rerouted_cnots = 0;
+    reversed_cnots = 0;
+    swaps_inserted = 0;
+    swap_hops = 0;
+    max_path_hops = 0;
+  }
+
+let note stats f =
+  match stats with
+  | None -> ()
+  | Some s -> f s
+
 let ctr_path d ~control ~target =
   let n = Device.n_qubits d in
   if control = target then invalid_arg "Route.ctr_path: control = target";
@@ -106,17 +130,19 @@ let ctr_path_weighted d ~weight ~control ~target =
 
 let allows d ~control ~target = Device.allows_cnot d ~control ~target
 
-let oriented_cnot d ~control ~target =
+let oriented_cnot ?stats d ~control ~target =
   if allows d ~control ~target then [ Gate.Cnot { control; target } ]
-  else if allows d ~control:target ~target:control then
+  else if allows d ~control:target ~target:control then begin
+    note stats (fun s -> s.reversed_cnots <- s.reversed_cnots + 1);
     Decompose.cnot_reverse ~control ~target
+  end
   else
     invalid_arg
       (Printf.sprintf "Route.oriented_cnot: q%d,q%d not coupled on %s" control
          target (Device.name d))
 
-let routed_cnot_gates ?path_finder d ~swap ~control ~target =
-  if Device.coupled d control target then oriented_cnot d ~control ~target
+let routed_cnot_gates ?path_finder ?stats d ~swap ~control ~target =
+  if Device.coupled d control target then oriented_cnot ?stats d ~control ~target
   else
     let find =
       match path_finder with
@@ -124,6 +150,12 @@ let routed_cnot_gates ?path_finder d ~swap ~control ~target =
       | None -> fun ~control ~target -> ctr_path d ~control ~target
     in
     let path = find ~control ~target in
+    note stats (fun s ->
+        let hops = List.length path - 1 in
+        s.rerouted_cnots <- s.rerouted_cnots + 1;
+        s.swap_hops <- s.swap_hops + hops;
+        if hops > s.max_path_hops then s.max_path_hops <- hops;
+        s.swaps_inserted <- s.swaps_inserted + (2 * hops));
     let rec swaps = function
       | a :: (b :: _ as rest) -> swap a b @ swaps rest
       | [ _ ] | [] -> []
@@ -136,15 +168,17 @@ let routed_cnot_gates ?path_finder d ~swap ~control ~target =
     in
     let backward = swaps (List.rev path) in
     List.concat
-      [ forward; oriented_cnot d ~control:landing ~target; backward ]
+      [ forward; oriented_cnot ?stats d ~control:landing ~target; backward ]
 
 let route_cnot d ~control ~target =
   let allows_pred ~control ~target = allows d ~control ~target in
   let swap a b = Decompose.swap_as_cnots ~allows:allows_pred a b in
   routed_cnot_gates d ~swap ~control ~target
 
-let route_cnot_swaps d ~control ~target =
-  routed_cnot_gates d ~swap:(fun a b -> [ Gate.Swap (a, b) ]) ~control ~target
+let route_cnot_swaps ?stats d ~control ~target =
+  routed_cnot_gates ?stats d
+    ~swap:(fun a b -> [ Gate.Swap (a, b) ])
+    ~control ~target
 
 let route_with ~route_cnot_gates d c =
   if Circuit.n_qubits c > Device.n_qubits d then
@@ -168,14 +202,16 @@ let route_with ~route_cnot_gates d c =
   Circuit.map_gates route_gate (Circuit.widen c (Device.n_qubits d))
 
 let route_circuit d c = route_with ~route_cnot_gates:route_cnot d c
-let route_circuit_swaps d c = route_with ~route_cnot_gates:route_cnot_swaps d c
 
-let route_circuit_swaps_weighted d ~weight c =
+let route_circuit_swaps ?stats d c =
+  route_with ~route_cnot_gates:(route_cnot_swaps ?stats) d c
+
+let route_circuit_swaps_weighted ?stats d ~weight c =
   let path_finder ~control ~target =
     ctr_path_weighted d ~weight ~control ~target
   in
   let route_gate d ~control ~target =
-    routed_cnot_gates ~path_finder d
+    routed_cnot_gates ~path_finder ?stats d
       ~swap:(fun a b -> [ Gate.Swap (a, b) ])
       ~control ~target
   in
@@ -190,7 +226,7 @@ let expand_swaps d c =
       | g -> [ g ])
     c
 
-let route_circuit_tracking d c =
+let route_circuit_tracking ?stats d c =
   if Circuit.n_qubits c > Device.n_qubits d then
     invalid_arg
       (Printf.sprintf
@@ -204,6 +240,7 @@ let route_circuit_tracking d c =
   let emit g = out := g :: !out in
   let do_swap p1 p2 =
     emit (Gate.Swap (p1, p2));
+    note stats (fun s -> s.swaps_inserted <- s.swaps_inserted + 1);
     history := (p1, p2) :: !history;
     let l1 = log_of_phys.(p1) and l2 = log_of_phys.(p2) in
     log_of_phys.(p1) <- l2;
@@ -224,6 +261,11 @@ let route_circuit_tracking d c =
           if Device.coupled d pc pt then pc
           else begin
             let path = ctr_path d ~control:pc ~target:pt in
+            note stats (fun s ->
+                let hops = List.length path - 1 in
+                s.rerouted_cnots <- s.rerouted_cnots + 1;
+                s.swap_hops <- s.swap_hops + hops;
+                if hops > s.max_path_hops then s.max_path_hops <- hops);
             let rec walk = function
               | a :: (b :: _ as rest) ->
                 do_swap a b;
@@ -234,7 +276,7 @@ let route_circuit_tracking d c =
             walk path
           end
         in
-        List.iter emit (oriented_cnot d ~control:landing ~target:pt)
+        List.iter emit (oriented_cnot ?stats d ~control:landing ~target:pt)
       end
     | Gate.Cz _ | Gate.Swap _ | Gate.Toffoli _ | Gate.Mct _ ->
       invalid_arg
@@ -244,6 +286,8 @@ let route_circuit_tracking d c =
   Circuit.iter route_gate (Circuit.widen c n);
   (* Restore the original layout so the circuit computes the same
      unitary as the input: undo the swap history. *)
+  note stats (fun s ->
+      s.swaps_inserted <- s.swaps_inserted + List.length !history);
   List.iter (fun (p1, p2) -> emit (Gate.Swap (p1, p2))) !history;
   Circuit.make ~n (List.rev !out)
 

@@ -11,6 +11,21 @@
 (** Raised when no SWAP path exists (disconnected coupling map). *)
 exception Unroutable of string
 
+(** Routing observability counters.  Allocate one with {!new_stats},
+    pass it to a router, read the fields afterwards; routers called
+    without one keep their exact pre-instrumentation behavior. *)
+type stats = {
+  mutable rerouted_cnots : int;
+      (** CNOTs that needed a CTR SWAP chain (uncoupled operand pair) *)
+  mutable reversed_cnots : int;
+      (** CNOTs realized through the Fig. 6 four-H direction reversal *)
+  mutable swaps_inserted : int;  (** SWAP gates emitted *)
+  mutable swap_hops : int;  (** total CTR path hops over all reroutes *)
+  mutable max_path_hops : int;  (** longest single CTR path, in hops *)
+}
+
+val new_stats : unit -> stats
+
 (** [ctr_path d ~control ~target] is the shortest chain
     [control; q1; ...; qm] such that consecutive entries are coupled and
     [qm] is coupled with [target].  When control and target are already
@@ -36,7 +51,11 @@ val ctr_path_weighted :
 (** [route_circuit_swaps_weighted d ~weight c] is
     {!route_circuit_swaps} with weighted path selection. *)
 val route_circuit_swaps_weighted :
-  Device.t -> weight:(int -> int -> float) -> Circuit.t -> Circuit.t
+  ?stats:stats ->
+  Device.t ->
+  weight:(int -> int -> float) ->
+  Circuit.t ->
+  Circuit.t
 
 (** [route_cnot d ~control ~target] emits a native realization of the
     CNOT: the gate itself when legal, a Fig. 6 reversal when only the
@@ -49,12 +68,13 @@ val route_cnot : Device.t -> control:int -> target:int -> Gate.t list
     instead of being expanded to CNOTs.  Keeping SWAPs whole lets the
     optimizer cancel a swap-back against the next gate's swap-forward as
     single gates before expansion. *)
-val route_cnot_swaps : Device.t -> control:int -> target:int -> Gate.t list
+val route_cnot_swaps :
+  ?stats:stats -> Device.t -> control:int -> target:int -> Gate.t list
 
-(** [route_circuit_swaps d c] maps the circuit keeping CTR SWAPs as
-    units; every SWAP in the result joins a coupled pair, every CNOT is
-    legal on [d].  Same preconditions as {!route_circuit}. *)
-val route_circuit_swaps : Device.t -> Circuit.t -> Circuit.t
+(** [route_circuit_swaps ?stats d c] maps the circuit keeping CTR SWAPs
+    as units; every SWAP in the result joins a coupled pair, every CNOT
+    is legal on [d].  Same preconditions as {!route_circuit}. *)
+val route_circuit_swaps : ?stats:stats -> Device.t -> Circuit.t -> Circuit.t
 
 (** [expand_swaps d c] replaces each SWAP (which must join a coupled
     pair) with its CNOT realization, at most 7 gates (Fig. 3 + Fig. 6).
@@ -68,7 +88,7 @@ val expand_swaps : Device.t -> Circuit.t -> Circuit.t
     (by replaying the swap history in reverse).  Output is swap-level,
     like {!route_circuit_swaps}; same preconditions and guarantees
     (legal CNOTs, SWAPs on coupled pairs, same overall unitary). *)
-val route_circuit_tracking : Device.t -> Circuit.t -> Circuit.t
+val route_circuit_tracking : ?stats:stats -> Device.t -> Circuit.t -> Circuit.t
 
 (** [route_circuit d c] maps a technology-ready circuit (native library
     only) onto the device: one-qubit gates pass through, CNOTs are

@@ -163,6 +163,155 @@ let test_report_rendering () =
              ]))
     = 5)
 
+let test_extension () =
+  let check_ext path expected =
+    Alcotest.(check string) path expected (Compiler.extension path)
+  in
+  check_ext "adder.qasm" ".qasm";
+  check_ext "adder.QASM" ".qasm";
+  check_ext "adder" "";
+  (* Dots in directory names must not leak into the extension. *)
+  check_ext "dir.v2/adder" "";
+  check_ext "dir.v2/adder.qasm" ".qasm";
+  check_ext "/runs.2026/out/adder.qc" ".qc";
+  check_ext "a.b.real" ".real";
+  check_ext "." ".";
+  check_ext "dir.v2/" ""
+
+let test_parse_file_in_dotted_dir () =
+  (* Regression: a dotted directory used to swallow the dispatch — the
+     "extension" of runs.v2/a became ".v2/a". *)
+  let dir = Filename.temp_file "qsynth" ".v2" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let qc_path = Filename.concat dir "a.qc" in
+  Qformats.Qc.write_file qc_path toffoli_cascade;
+  (match Compiler.parse_file qc_path with
+  | Compiler.Quantum c ->
+    check_bool "qc parsed from dotted dir" true (Circuit.equal c toffoli_cascade)
+  | Compiler.Classical _ -> Alcotest.fail "expected Quantum");
+  let bare = Filename.concat dir "adder" in
+  Out_channel.with_open_text bare (fun oc -> output_string oc "junk");
+  (match Compiler.parse_file bare with
+  | exception Compiler.Compile_error msg ->
+    let contains sub =
+      let k = String.length sub and n = String.length msg in
+      let rec scan i = i + k <= n && (String.sub msg i k = sub || scan (i + 1)) in
+      scan 0
+    in
+    check_bool "reports empty extension" true (contains "extension \"\"");
+    check_bool "not the directory suffix" false (contains "extension \".v2");
+  | _ -> Alcotest.fail "expected unsupported extension error");
+  Sys.remove bare;
+  Sys.remove qc_path;
+  Unix.rmdir dir
+
+let test_pp_report_placement_truncation () =
+  (* A 16-qubit rotation placement moves every qubit; the report shows
+     the first 12 pairs and must say how many it hid. *)
+  let n = 16 in
+  let placement = Array.init n (fun i -> (i + 1) mod n) in
+  let c = Circuit.empty n in
+  let r =
+    {
+      Compiler.reference = c;
+      placement = Some placement;
+      unoptimized = c;
+      optimized = c;
+      unoptimized_cost = 0.0;
+      optimized_cost = 0.0;
+      percent_decrease = 0.0;
+      verification = Compiler.Skipped;
+      elapsed_seconds = 0.0;
+      verification_seconds = 0.0;
+      trace = [];
+    }
+  in
+  let text = Format.asprintf "%a" Compiler.pp_report r in
+  let contains sub =
+    let k = String.length sub and n = String.length text in
+    let rec scan i = i + k <= n && (String.sub text i k = sub || scan (i + 1)) in
+    scan 0
+  in
+  check_bool "prints the leading pairs" true (contains "q0->q1");
+  check_bool "announces the hidden pairs" true (contains "(+4 more)");
+  (* A small placement prints in full, with no truncation marker. *)
+  let small =
+    { r with Compiler.placement = Some [| 1; 0; 2; 3; 4 |] }
+  in
+  let text_small = Format.asprintf "%a" Compiler.pp_report small in
+  check_bool "no marker when everything fits" true
+    (not
+       (let k = String.length "more)" and n = String.length text_small in
+        let rec scan i =
+          i + k <= n && (String.sub text_small i k = "more)" || scan (i + 1))
+        in
+        scan 0))
+
+let test_trace_spans_cover_pipeline () =
+  let device = Device.Ibm.ibmqx4 in
+  let trace = Trace.create () in
+  let r =
+    Compiler.compile ~trace
+      (Compiler.default_options ~device)
+      (Compiler.Quantum toffoli_cascade)
+  in
+  let names = List.map (fun sp -> sp.Trace.name) r.Compiler.trace in
+  List.iter
+    (fun stage ->
+      check_bool (stage ^ " span present") true (List.mem stage names))
+    [ "front-end"; "pre-optimize"; "decompose"; "route"; "expand-swaps";
+      "post-optimize"; "verify" ];
+  (* The last post-optimize snapshot agrees with the reported output. *)
+  let final =
+    List.find (fun sp -> sp.Trace.name = "post-optimize") r.Compiler.trace
+  in
+  (match final.Trace.after with
+  | Some s ->
+    check_bool "trace matches report" true
+      (s.Trace.gate_volume = Circuit.gate_count r.Compiler.optimized)
+  | None -> Alcotest.fail "post-optimize span has no after snapshot");
+  (* Compiling without a sink records nothing. *)
+  let bare =
+    Compiler.compile
+      (Compiler.default_options ~device)
+      (Compiler.Quantum toffoli_cascade)
+  in
+  check_bool "no trace by default" true (bare.Compiler.trace = [])
+
+let test_report_to_json () =
+  let device = Device.Ibm.ibmqx4 in
+  let trace = Trace.create () in
+  let r =
+    Compiler.compile ~trace
+      (Compiler.default_options ~device)
+      (Compiler.Quantum toffoli_cascade)
+  in
+  let doc =
+    Compiler.report_to_json
+      ~meta:[ ("name", Trace.Json.String "toffoli") ]
+      r
+  in
+  match Trace.Json.of_string (Trace.Json.to_string ~pretty:true doc) with
+  | Error msg -> Alcotest.failf "report JSON does not parse: %s" msg
+  | Ok doc ->
+    check_bool "meta first" true
+      (Trace.Json.member "name" doc = Some (Trace.Json.String "toffoli"));
+    check_bool "verification tag" true
+      (Trace.Json.member "verification" doc
+      = Some (Trace.Json.String "verified"));
+    (match Trace.Json.member "optimized" doc with
+    | Some opt ->
+      check_bool "optimized gate volume" true
+        (Option.bind (Trace.Json.member "gate_volume" opt) Trace.Json.number
+        = Some (float_of_int (Circuit.gate_count r.Compiler.optimized)))
+    | None -> Alcotest.fail "optimized object missing");
+    (match Trace.Json.member "passes" doc with
+    | Some (Trace.Json.List passes) ->
+      check_bool "every span serialized" true
+        (List.length passes = List.length r.Compiler.trace)
+    | _ -> Alcotest.fail "passes missing")
+
 let test_parse_file_dispatch () =
   let dir = Filename.temp_file "qsynth" "" in
   Sys.remove dir;
@@ -323,7 +472,18 @@ let () =
         [
           Alcotest.test_case "emit qasm" `Quick test_emit_qasm;
           Alcotest.test_case "report rendering" `Quick test_report_rendering;
+          Alcotest.test_case "placement truncation" `Quick
+            test_pp_report_placement_truncation;
+          Alcotest.test_case "extension" `Quick test_extension;
           Alcotest.test_case "parse_file dispatch" `Quick test_parse_file_dispatch;
+          Alcotest.test_case "parse_file in dotted dir" `Quick
+            test_parse_file_in_dotted_dir;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "spans cover the pipeline" `Quick
+            test_trace_spans_cover_pipeline;
+          Alcotest.test_case "report to json" `Quick test_report_to_json;
         ] );
       ( "properties",
         [

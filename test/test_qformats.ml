@@ -342,7 +342,70 @@ let test_whitespace_robustness () =
     |> Circuit.gates
     = [ Gate.Cnot { control = 0; target = 1 } ])
 
+(* --- benchmark fixpoints --- *)
+
+(* Every benchmark circuit, lowered to the native library (OpenQASM 2.0
+   has no generalized Toffoli), must emit -> parse -> emit to the exact
+   same text: the emitted dialect is a fixed point of the parser. *)
+let native_benchmarks () =
+  let lower ~n c = Decompose.to_native (Circuit.widen c n) in
+  List.map
+    (fun b ->
+      ( "#" ^ b.Benchsuite.Single_target.name,
+        lower ~n:16 (Benchsuite.Single_target.circuit b) ))
+    Benchsuite.Single_target.all
+  @ List.map
+      (fun b ->
+        ( b.Benchsuite.Revlib_cascades.name,
+          lower ~n:16 (Benchsuite.Revlib_cascades.circuit b) ))
+      Benchsuite.Revlib_cascades.all
+  @ List.map
+      (fun b ->
+        ( b.Benchsuite.Big_cascades.name,
+          lower ~n:96 (Benchsuite.Big_cascades.circuit b) ))
+      Benchsuite.Big_cascades.all
+
+let test_qasm_benchmark_fixpoint () =
+  List.iter
+    (fun (name, c) ->
+      let once = Qformats.Qasm.to_string c in
+      let parsed = Qformats.Qasm.of_string once in
+      check_bool (name ^ " circuit preserved") true (Circuit.equal c parsed);
+      check_bool (name ^ " emission fixpoint") true
+        (String.equal once (Qformats.Qasm.to_string parsed)))
+    (native_benchmarks ())
+
 (* --- properties --- *)
+
+let prop_qasm_angle_fixpoint =
+  (* Rotation angles are printed with %.17g, which is lossless for any
+     finite double: the parsed angle is bit-identical, and a second
+     emission reproduces the first byte for byte. *)
+  QCheck2.Test.make ~name:"rotation angles survive emission exactly" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 0 2)
+        (oneof
+           [
+             float_range (-10.) 10.;
+             float_range (-1e-9) 1e-9;
+             oneofl
+               [
+                 Float.pi; -.Float.pi; Float.pi /. 3.0; 1.0 /. 3.0;
+                 0.1; 1e17; -1.2345678901234567;
+               ];
+           ]))
+    (fun (axis, theta) ->
+      let gate =
+        match axis with
+        | 0 -> Gate.Rx (theta, 0)
+        | 1 -> Gate.Ry (theta, 0)
+        | _ -> Gate.Rz (theta, 0)
+      in
+      let c = Circuit.make ~n:1 [ gate ] in
+      let once = Qformats.Qasm.to_string c in
+      let parsed = Qformats.Qasm.of_string once in
+      Circuit.equal c parsed
+      && String.equal once (Qformats.Qasm.to_string parsed))
 
 let prop_qasm_roundtrip =
   QCheck2.Test.make ~name:"QASM print-parse round trip" ~count:60
@@ -380,7 +443,10 @@ let () =
           Alcotest.test_case "u gates" `Quick test_qasm_u_gates;
           Alcotest.test_case "multi register" `Quick test_qasm_multi_register;
           Alcotest.test_case "errors" `Quick test_qasm_errors;
+          Alcotest.test_case "benchmark fixpoint" `Quick
+            test_qasm_benchmark_fixpoint;
           QCheck_alcotest.to_alcotest prop_qasm_roundtrip;
+          QCheck_alcotest.to_alcotest prop_qasm_angle_fixpoint;
         ] );
       ( "qc",
         [

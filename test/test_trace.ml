@@ -1,0 +1,274 @@
+(* The trace subsystem: spans, snapshots, counters, the JSON tree, and
+   the counters surfaced from Qmdd and Route. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let sample =
+  Circuit.make ~n:3
+    [
+      Gate.T 0;
+      Gate.H 1;
+      Gate.Cnot { control = 0; target = 1 };
+      Gate.Cnot { control = 1; target = 2 };
+    ]
+
+(* --- sinks and spans --- *)
+
+let test_disabled_records_nothing () =
+  let t = Trace.disabled in
+  check_bool "disabled is not enabled" false (Trace.enabled t);
+  let sp = Trace.start t "a" in
+  Trace.stop t sp ();
+  let sp = Trace.start_with t "b" sample in
+  Trace.stop_with t sp ~counters:[ ("k", 1.0) ] sample;
+  check_int "no spans recorded" 0 (List.length (Trace.spans t));
+  Alcotest.(check (float 0.0)) "no time" 0.0 (Trace.total_wall_seconds t)
+
+let test_recording_spans () =
+  let t = Trace.create () in
+  check_bool "created sink is enabled" true (Trace.enabled t);
+  let sp = Trace.start_with t "first" sample in
+  Trace.stop_with t sp ~counters:[ ("swaps", 4.0) ] sample;
+  let sp = Trace.start t "second" in
+  Trace.stop t sp ();
+  match Trace.spans t with
+  | [ a; b ] ->
+    check_string "first name" "first" a.Trace.name;
+    check_string "second name" "second" b.Trace.name;
+    check_int "completion order" 0 a.Trace.index;
+    check_int "completion order" 1 b.Trace.index;
+    check_bool "wall time non-negative" true (a.Trace.wall_seconds >= 0.0);
+    (match (a.Trace.before, a.Trace.after) with
+    | Some before, Some after ->
+      check_int "before volume" 4 before.Trace.gate_volume;
+      check_int "after cnots" 2 after.Trace.cnot_count;
+      check_int "t count" 1 before.Trace.t_count
+    | _ -> Alcotest.fail "snapshots missing");
+    check_bool "counters kept" true (a.Trace.counters = [ ("swaps", 4.0) ]);
+    check_bool "bare span has no snapshots" true
+      (b.Trace.before = None && b.Trace.after = None)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_nested_spans_complete_inner_first () =
+  let t = Trace.create () in
+  let outer = Trace.start t "outer" in
+  let inner = Trace.start t "inner" in
+  Trace.stop t inner ();
+  Trace.stop t outer ();
+  match Trace.spans t with
+  | [ a; b ] ->
+    check_string "inner completes first" "inner" a.Trace.name;
+    check_string "outer completes last" "outer" b.Trace.name;
+    check_bool "outer at least as long" true
+      (b.Trace.wall_seconds >= a.Trace.wall_seconds)
+  | _ -> Alcotest.fail "expected 2 spans"
+
+let test_monotonic_clock () =
+  let a = Trace.now_ns () in
+  let b = Trace.now_ns () in
+  check_bool "clock does not go backwards" true (Int64.compare b a >= 0)
+
+(* --- snapshots --- *)
+
+let test_snapshot_fields () =
+  let s = Trace.snapshot sample in
+  check_int "gate volume" 4 s.Trace.gate_volume;
+  check_int "t count" 1 s.Trace.t_count;
+  check_int "cnot count" 2 s.Trace.cnot_count;
+  check_int "depth" 3 (Circuit.depth sample);
+  Alcotest.(check (float 1e-9))
+    "cost defaults to eqn2"
+    (Cost.evaluate Cost.eqn2 sample)
+    s.Trace.cost
+
+(* --- JSON --- *)
+
+let roundtrip j =
+  match Trace.Json.of_string (Trace.Json.to_string j) with
+  | Ok j' -> j'
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+
+let test_json_roundtrip () =
+  let j =
+    Trace.Json.(
+      Obj
+        [
+          ("null", Null);
+          ("bool", Bool true);
+          ("int", Int (-42));
+          ("float", Float 1.5);
+          ("string", String "with \"quotes\", \\ and \ncontrol\tchars");
+          ("list", List [ Int 1; Int 2; Int 3 ]);
+          ("nested", Obj [ ("empty_list", List []); ("empty_obj", Obj []) ]);
+        ])
+  in
+  check_bool "compact round-trips" true (roundtrip j = j);
+  match Trace.Json.of_string (Trace.Json.to_string ~pretty:true j) with
+  | Ok j' -> check_bool "pretty round-trips" true (j' = j)
+  | Error msg -> Alcotest.failf "pretty reparse failed: %s" msg
+
+let test_json_interchange () =
+  (match Trace.Json.of_string "  {\"a\" : [1, 2.5, -3e2], \"b\": \"\\u0041\"} " with
+  | Ok j ->
+    check_bool "unicode escape" true
+      (Trace.Json.member "b" j = Some (Trace.Json.String "A"));
+    (match Trace.Json.member "a" j with
+    | Some (Trace.Json.List [ a; b; c ]) ->
+      check_bool "int" true (Trace.Json.number a = Some 1.0);
+      check_bool "float" true (Trace.Json.number b = Some 2.5);
+      check_bool "exponent" true (Trace.Json.number c = Some (-300.0))
+    | _ -> Alcotest.fail "array missing")
+  | Error msg -> Alcotest.failf "parse failed: %s" msg);
+  check_bool "trailing garbage rejected" true
+    (Result.is_error (Trace.Json.of_string "true false"));
+  check_bool "bad input rejected" true
+    (Result.is_error (Trace.Json.of_string "{\"a\":}"))
+
+let test_json_non_finite () =
+  check_string "nan becomes null" "null"
+    (Trace.Json.to_string (Trace.Json.Float nan));
+  check_string "inf becomes null" "null"
+    (Trace.Json.to_string (Trace.Json.Float infinity))
+
+let test_trace_to_json () =
+  let t = Trace.create () in
+  let sp = Trace.start_with t "pass" sample in
+  Trace.stop_with t sp ~counters:[ ("k", 2.0) ] sample;
+  let doc = Trace.to_json ~meta:[ ("input", Trace.Json.String "x.qc") ] (Trace.spans t) in
+  let doc = roundtrip doc in
+  check_bool "meta kept" true
+    (Trace.Json.member "input" doc = Some (Trace.Json.String "x.qc"));
+  match Trace.Json.member "passes" doc with
+  | Some (Trace.Json.List [ p ]) ->
+    check_bool "span name" true
+      (Trace.Json.member "name" p = Some (Trace.Json.String "pass"));
+    (match Trace.Json.member "after" p with
+    | Some after ->
+      check_bool "snapshot gate volume" true
+        (Option.bind (Trace.Json.member "gate_volume" after) Trace.Json.number
+        = Some 4.0)
+    | None -> Alcotest.fail "after snapshot missing");
+    (match Trace.Json.member "counters" p with
+    | Some counters ->
+      check_bool "counter value" true
+        (Option.bind (Trace.Json.member "k" counters) Trace.Json.number
+        = Some 2.0)
+    | None -> Alcotest.fail "counters missing")
+  | _ -> Alcotest.fail "passes list missing"
+
+let test_to_text () =
+  let t = Trace.create () in
+  let sp = Trace.start_with t "route" sample in
+  Trace.stop_with t sp ~counters:[ ("swaps_inserted", 6.0) ] sample;
+  let text = Trace.to_text (Trace.spans t) in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "names the pass" true (contains text "route");
+  check_bool "prints the counter" true (contains text "swaps_inserted")
+
+(* --- counters surfaced by Qmdd and Route --- *)
+
+let sample' =
+  Circuit.make ~n:2
+    [ Gate.H 0; Gate.Cnot { control = 0; target = 1 }; Gate.T 1 ]
+
+let test_qmdd_stats () =
+  let m = Qmdd.create ~n:2 in
+  let s0 = Qmdd.stats m in
+  check_int "fresh manager has no nodes" 0 s0.Qmdd.unique_nodes;
+  let _ = Qmdd.of_circuit m sample' in
+  let s = Qmdd.stats m in
+  check_bool "nodes allocated" true (s.Qmdd.allocated > 0);
+  check_bool "peak covers live" true (s.Qmdd.peak_unique_nodes >= s.Qmdd.unique_nodes);
+  check_bool "unique table populated" true (s.Qmdd.unique_nodes > 0);
+  (* Building the same diagram again hits the caches. *)
+  let _ = Qmdd.of_circuit m sample' in
+  let s2 = Qmdd.stats m in
+  check_bool "mul cache hit on repeat" true
+    (s2.Qmdd.mul_cache_hits > s.Qmdd.mul_cache_hits)
+
+let test_qmdd_equivalent_stats_observer () =
+  let seen = ref None in
+  let eq =
+    Qmdd.equivalent ~up_to_phase:false
+      ~stats:(fun s -> seen := Some s)
+      sample' sample'
+  in
+  check_bool "equivalent" true eq;
+  match !seen with
+  | Some s -> check_bool "observer saw allocations" true (s.Qmdd.allocated > 0)
+  | None -> Alcotest.fail "stats observer never called"
+
+let test_route_stats () =
+  (* Fig. 5's example: CNOT(q5, q10) on ibmqx3 needs a 2-hop CTR chain
+     (q5 -> q12 -> q11), i.e. 2 SWAPs out and 2 back. *)
+  let d = Device.Ibm.ibmqx3 in
+  let c = Circuit.make ~n:16 [ Gate.Cnot { control = 5; target = 10 } ] in
+  let stats = Route.new_stats () in
+  let _ = Route.route_circuit_swaps ~stats d c in
+  check_int "one rerouted CNOT" 1 stats.Route.rerouted_cnots;
+  check_int "four SWAPs (out and back)" 4 stats.Route.swaps_inserted;
+  check_int "two hops" 2 stats.Route.max_path_hops;
+  check_int "hops accumulated" 2 stats.Route.swap_hops;
+  (* A coupled pair routes clean: no counters move. *)
+  let stats2 = Route.new_stats () in
+  let coupled = Circuit.make ~n:16 [ Gate.Cnot { control = 1; target = 2 } ] in
+  let _ = Route.route_circuit_swaps ~stats:stats2 d coupled in
+  check_int "coupled pair not rerouted" 0 stats2.Route.rerouted_cnots;
+  check_int "no swaps for coupled pair" 0 stats2.Route.swaps_inserted
+
+let test_optimize_iteration_spans () =
+  let t = Trace.create () in
+  (* H H cancels, so at least one improving sweep happens, then a final
+     rejected sweep: at least 2 iteration spans. *)
+  let c = Circuit.make ~n:2 [ Gate.H 0; Gate.H 0; Gate.T 1 ] in
+  let optimized = Optimize.optimize ~trace:t ~stage:"test" c in
+  check_int "H pair cancelled" 1 (Circuit.gate_count optimized);
+  let spans = Trace.spans t in
+  check_bool "at least two iterations" true (List.length spans >= 2);
+  List.iteri
+    (fun i sp ->
+      check_string "iteration naming"
+        (Printf.sprintf "test/iteration-%d" (i + 1))
+        sp.Trace.name)
+    spans;
+  let last = List.nth spans (List.length spans - 1) in
+  check_bool "last sweep did not improve" true
+    (last.Trace.counters = [ ("improved", 0.0) ])
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "sinks",
+        [
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "recording spans" `Quick test_recording_spans;
+          Alcotest.test_case "nested spans" `Quick
+            test_nested_spans_complete_inner_first;
+          Alcotest.test_case "monotonic clock" `Quick test_monotonic_clock;
+          Alcotest.test_case "snapshot fields" `Quick test_snapshot_fields;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "interchange" `Quick test_json_interchange;
+          Alcotest.test_case "non-finite" `Quick test_json_non_finite;
+          Alcotest.test_case "trace document" `Quick test_trace_to_json;
+          Alcotest.test_case "text table" `Quick test_to_text;
+        ] );
+      ( "pass counters",
+        [
+          Alcotest.test_case "qmdd manager stats" `Quick test_qmdd_stats;
+          Alcotest.test_case "qmdd equivalent observer" `Quick
+            test_qmdd_equivalent_stats_observer;
+          Alcotest.test_case "route stats" `Quick test_route_stats;
+          Alcotest.test_case "optimize iteration spans" `Quick
+            test_optimize_iteration_spans;
+        ] );
+    ]
