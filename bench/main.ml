@@ -426,10 +426,14 @@ let verify_section results3 results5 =
         | Mapped r ->
           incr count;
           (match r.Compiler.verification with
-          | Compiler.Verified | Compiler.Verified_staged -> incr verified
+          | Compiler.Verified | Compiler.Verified_staged
+          | Compiler.Verified_sim ->
+            incr verified
           | Compiler.Mismatch -> Printf.printf "  MISMATCH: %s on %s\n" label dev
           | Compiler.Budget_exceeded ->
             Printf.printf "  budget exceeded: %s on %s\n" label dev
+          | Compiler.Unverified reason ->
+            Printf.printf "  unverified (%s): %s on %s\n" reason label dev
           | Compiler.Skipped -> Printf.printf "  skipped: %s on %s\n" label dev))
       outcomes
   in

@@ -25,13 +25,32 @@ let device_conv =
 
 (* --- compile --- *)
 
+(* Failure-semantics contract of `qsc compile` (documented in README
+   "Failure semantics"):
+     exit 0    compiled (possibly degraded under a budget; possibly
+               Unverified in fallback mode)
+     exit 123  reported failure: a structured diagnostic, a formal
+               MISMATCH, or (batch mode) any failed input — details on
+               stderr, or in the batch JSON on stdout
+     exit 124  command-line misuse (cmdliner)
+     exit 125  internal error (unexpected exception; a bug) *)
+
 let compile_cmd =
-  let input =
+  let inputs_opt =
     Arg.(
-      required
-      & opt (some file) None
+      value
+      & opt_all file []
       & info [ "i"; "input" ] ~docv:"FILE"
-          ~doc:"Input circuit (.qasm, .qc, .real) or switching function (.pla).")
+          ~doc:
+            "Input circuit (.qasm, .qc, .real) or switching function (.pla). \
+             Repeatable; positional FILE arguments are accepted too.")
+  in
+  let inputs_pos =
+    Arg.(
+      value
+      & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:"Input files (same formats as $(b,--input)).")
   in
   let device =
     Arg.(
@@ -121,8 +140,99 @@ let compile_cmd =
              document (use $(b,-o) for the QASM).  Defaults to $(b,text) \
              when given without a value.")
   in
-  let run input device custom_map qubits output no_optimize no_verify strict
-      weights place router trace_mode =
+  let keep_going =
+    Arg.(
+      value & flag
+      & info [ "k"; "keep-going" ]
+          ~doc:
+            "Batch mode: compile every input even when some fail, and print \
+             one aggregated JSON report (schema $(b,qsynth-batch/v1)) on \
+             stdout.  Exits 0 when every input compiled and verified, 123 \
+             otherwise.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget per compile.  Once past, optional stages are \
+             skipped and optimization stops between sweeps with the best \
+             circuit so far; the report marks those stages DEGRADED and the \
+             compile still succeeds.")
+  in
+  let opt_iterations =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "opt-iterations" ] ~docv:"N"
+          ~doc:
+            "Cap fixpoint sweeps per optimization stage; a capped stage \
+             keeps its best circuit so far and is marked DEGRADED.")
+  in
+  let swap_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "swap-budget" ] ~docv:"N"
+          ~doc:
+            "Cap routing SWAP insertions; once exhausted, remaining \
+             uncoupled CNOTs stay as written (unitary preserved, not \
+             device-legal) and the route stage is marked DEGRADED.")
+  in
+  let node_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "node-budget" ] ~docv:"N"
+          ~doc:
+            "QMDD node budget for verification (default 8000000; 0 = \
+             unlimited).")
+  in
+  let max_sim_qubits =
+    Arg.(
+      value & opt int 10
+      & info [ "max-sim-qubits" ] ~docv:"N"
+          ~doc:
+            "Widest register the dense-matrix fallback oracle accepts \
+             ($(b,--verify fallback) only).")
+  in
+  let verify_mode =
+    Arg.(
+      value
+      & opt (enum [ ("fallback", `Fallback); ("qmdd", `Qmdd); ("skip", `Skip) ])
+          `Fallback
+      & info [ "verify" ] ~docv:"MODE"
+          ~doc:
+            "Verification mode: $(b,fallback) (QMDD, then the staged QMDD \
+             proof, then a dense-matrix oracle up to $(b,--max-sim-qubits) \
+             qubits, then 'unverified' with the reason — never aborts), \
+             $(b,qmdd) (QMDD only; reports budget exhaustion), or \
+             $(b,skip).")
+  in
+  let inject_specs =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "inject" ] ~docv:"FAULT@STAGE"
+          ~doc:
+            "Fault-injection harness for robustness testing: corrupt the \
+             named stage's output, e.g. $(b,raise@route) or \
+             $(b,nan-angle@decompose).  Faults: raise, nan-angle, \
+             out-of-range-wire, truncate.  Repeatable; deterministic under \
+             $(b,--inject-seed).")
+  in
+  let inject_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "inject-seed" ] ~docv:"N"
+          ~doc:"Seed for $(b,--inject) randomness.")
+  in
+  let run inputs_opt inputs_pos device custom_map qubits output no_optimize
+      no_verify strict weights place router trace_mode keep_going deadline
+      opt_iterations swap_budget node_budget max_sim_qubits verify_mode
+      inject_specs inject_seed =
+    let inputs = inputs_opt @ inputs_pos in
     let resolve_device () =
       match (device, custom_map, qubits) with
       | Some d, None, _ -> Ok d
@@ -134,94 +244,252 @@ let compile_cmd =
       | None, None, _ -> Error (`Msg "choose a target: --device or --map/--qubits")
       | Some _, Some _, _ -> Error (`Msg "--device and --map are exclusive")
     in
-    match resolve_device () with
-    | Error e -> Error e
-    | Ok dev -> (
-      let cost =
-        match weights with
-        | None -> Cost.eqn2
-        | Some (t, c, g) ->
-          Cost.linear ~name:"custom" ~t_weight:t ~cnot_weight:c ~gate_weight:g
+    let parse_inject () =
+      let parse s =
+        match String.index_opt s '@' with
+        | None ->
+          Error (`Msg (Printf.sprintf "bad --inject %S (want FAULT@STAGE)" s))
+        | Some i -> (
+          let f = String.sub s 0 i
+          and st = String.sub s (i + 1) (String.length s - i - 1) in
+          match
+            (Faultinject.fault_of_string f, Diagnostic.stage_of_string st)
+          with
+          | Some fault, Some stage -> Ok { Faultinject.stage; fault }
+          | None, _ ->
+            Error (`Msg (Printf.sprintf "unknown fault %S in --inject" f))
+          | Some _, None ->
+            Error (`Msg (Printf.sprintf "unknown stage %S in --inject" st)))
       in
-      let router =
-        match router with
-        | `Ctr -> Compiler.Ctr
-        | `Tracking -> Compiler.Tracking
-        | `Fidelity ->
-          Compiler.Weighted_ctr
-            (Calibration.swap_hop_weight (Calibration.synthetic dev))
-      in
-      let options =
-        {
-          (Compiler.default_options ~device:dev) with
-          Compiler.cost;
-          Compiler.router;
-          Compiler.use_placement = place;
-          Compiler.post_optimize = not no_optimize;
-          Compiler.check_contracts = strict;
-          Compiler.verification =
-            (if no_verify then Compiler.Skip
-             else
-               (Compiler.default_options ~device:dev).Compiler.verification);
-        }
-      in
-      let trace =
-        match trace_mode with
-        | None -> Trace.disabled
-        | Some _ -> Trace.create ()
-      in
-      match Compiler.compile ~trace options (Compiler.parse_file input) with
-      | report ->
-        let qasm = Compiler.emit_qasm report in
-        let write_output () =
-          match output with
-          | Some path ->
-            Out_channel.with_open_text path (fun oc -> output_string oc qasm);
-            Some path
-          | None -> None
+      List.fold_left
+        (fun acc s ->
+          match (acc, parse s) with
+          | (Error _ as e), _ | _, (Error _ as e) -> e
+          | Ok specs, Ok sp -> Ok (specs @ [ sp ]))
+        (Ok []) inject_specs
+    in
+    match (resolve_device (), parse_inject ()) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok dev, Ok specs ->
+      if inputs = [] then Error (`Msg "no input files (give FILE or -i FILE)")
+      else if output <> None && List.length inputs > 1 then
+        Error (`Msg "--output requires a single input")
+      else begin
+        let cost =
+          match weights with
+          | None -> Cost.eqn2
+          | Some (t, c, g) ->
+            Cost.linear ~name:"custom" ~t_weight:t ~cnot_weight:c ~gate_weight:g
         in
-        (match trace_mode with
-        | Some `Json ->
-          (* JSON mode owns stdout: the document is the only output, so
-             it can be piped straight into a parser.  QASM goes to -o. *)
-          let written = write_output () in
-          let meta =
-            [
-              ("schema", Trace.Json.String "qsynth-trace/v1");
-              ("input", Trace.Json.String input);
-              ("device", Trace.Json.String (Device.name dev));
-            ]
-            @
-            match written with
-            | Some path -> [ ("output", Trace.Json.String path) ]
-            | None -> []
+        let router =
+          match router with
+          | `Ctr -> Compiler.Ctr
+          | `Tracking -> Compiler.Tracking
+          | `Fidelity ->
+            Compiler.Weighted_ctr
+              (Calibration.swap_hop_weight (Calibration.synthetic dev))
+        in
+        let node_budget =
+          match node_budget with
+          | None -> Some 8_000_000
+          | Some 0 -> None
+          | Some n -> Some n
+        in
+        let verification =
+          if no_verify then Compiler.Skip
+          else
+            match verify_mode with
+            | `Skip -> Compiler.Skip
+            | `Qmdd -> Compiler.Qmdd_check { node_budget }
+            | `Fallback -> Compiler.Fallback { node_budget; max_sim_qubits }
+        in
+        let budgets =
+          {
+            Compiler.deadline_seconds = deadline;
+            max_optimize_iterations = opt_iterations;
+            swap_budget;
+          }
+        in
+        let options ~inject =
+          {
+            (Compiler.default_options ~device:dev) with
+            Compiler.cost;
+            Compiler.router;
+            Compiler.use_placement = place;
+            Compiler.post_optimize = not no_optimize;
+            Compiler.check_contracts = strict;
+            Compiler.verification;
+            Compiler.budgets;
+            Compiler.inject;
+          }
+        in
+        (* Fresh harness per input so every file sees the same faults
+           under the same seed. *)
+        let compile_one ?(trace = Trace.disabled) input =
+          let inject =
+            if specs = [] then None
+            else
+              Some
+                (Faultinject.hook (Faultinject.create ~seed:inject_seed specs))
           in
-          print_endline
-            (Trace.Json.to_string ~pretty:true
-               (Compiler.report_to_json ~cost ~meta report))
-        | Some `Text | None ->
-          Format.printf "%a" Compiler.pp_report report;
-          (match trace_mode with
-          | Some `Text -> print_string (Trace.to_text report.Compiler.trace)
-          | Some `Json | None -> ());
-          (match write_output () with
-          | Some path -> Format.printf "wrote %s@." path
-          | None -> print_string qasm));
-        if report.Compiler.verification = Compiler.Mismatch then
-          Error (`Msg "formal verification FAILED: output is not equivalent")
-        else Ok ()
-      | exception Compiler.Compile_error msg -> Error (`Msg msg)
-      | exception Lint.Contract.Violated msg -> Error (`Msg msg))
+          match Compiler.parse_file_checked input with
+          | Error d -> Error [ d ]
+          | Ok parsed -> Compiler.compile_checked ~trace (options ~inject) parsed
+        in
+        if keep_going then begin
+          (* Batch mode owns stdout with one aggregated JSON document;
+             per-input failures are collected, never fatal mid-run. *)
+          let module J = Trace.Json in
+          let results =
+            List.map (fun input -> (input, compile_one input)) inputs
+          in
+          let status = function
+            | Ok r ->
+              if r.Compiler.verification = Compiler.Mismatch then "mismatch"
+              else "ok"
+            | Error _ -> "error"
+          in
+          let result_json (input, res) =
+            let common = [ ("input", J.String input); ("status", J.String (status res)) ] in
+            match res with
+            | Ok r ->
+              J.Obj
+                (common
+                @ [
+                    ( "verification",
+                      J.String
+                        (Compiler.verification_tag r.Compiler.verification) );
+                    ( "degraded",
+                      J.List
+                        (List.map
+                           (fun (stage, reason) ->
+                             J.Obj
+                               [
+                                 ( "stage",
+                                   J.String (Diagnostic.stage_to_string stage)
+                                 );
+                                 ("reason", J.String reason);
+                               ])
+                           r.Compiler.degraded) );
+                    ( "diagnostics",
+                      J.List
+                        (List.map Diagnostic.to_json r.Compiler.diagnostics) );
+                  ])
+            | Error ds ->
+              J.Obj
+                (common
+                @ [ ("diagnostics", J.List (List.map Diagnostic.to_json ds)) ])
+          in
+          let total = List.length results in
+          let failed =
+            List.length (List.filter (fun (_, r) -> status r <> "ok") results)
+          in
+          let degraded_count =
+            List.length
+              (List.filter
+                 (fun (_, r) ->
+                   match r with Ok r -> Compiler.degraded r | Error _ -> false)
+                 results)
+          in
+          let doc =
+            J.Obj
+              [
+                ("schema", J.String "qsynth-batch/v1");
+                ("device", J.String (Device.name dev));
+                ("total", J.Int total);
+                ("failed", J.Int failed);
+                ("degraded", J.Int degraded_count);
+                ("results", J.List (List.map result_json results));
+              ]
+          in
+          print_endline (J.to_string ~pretty:true doc);
+          (match (output, results) with
+          | Some path, [ (_, Ok r) ] ->
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc (Compiler.emit_qasm r))
+          | _ -> ());
+          if failed = 0 then Ok ()
+          else
+            Error (`Msg (Printf.sprintf "%d of %d input(s) failed" failed total))
+        end
+        else
+          (* Sequential mode: full per-file output, stop at the first
+             failure. *)
+          let compile_and_print input =
+            let trace =
+              match trace_mode with
+              | None -> Trace.disabled
+              | Some _ -> Trace.create ()
+            in
+            if List.length inputs > 1 then Format.printf "== %s ==@." input;
+            match compile_one ~trace input with
+            | Error ds ->
+              Error
+                (`Msg (String.concat "\n" (List.map Diagnostic.to_string ds)))
+            | Ok report ->
+              let qasm = Compiler.emit_qasm report in
+              let write_output () =
+                match output with
+                | Some path ->
+                  Out_channel.with_open_text path (fun oc ->
+                      output_string oc qasm);
+                  Some path
+                | None -> None
+              in
+              (match trace_mode with
+              | Some `Json ->
+                (* JSON mode owns stdout: the document is the only output,
+                   so it can be piped straight into a parser.  QASM goes
+                   to -o. *)
+                let written = write_output () in
+                let meta =
+                  [
+                    ("schema", Trace.Json.String "qsynth-trace/v1");
+                    ("input", Trace.Json.String input);
+                    ("device", Trace.Json.String (Device.name dev));
+                  ]
+                  @
+                  match written with
+                  | Some path -> [ ("output", Trace.Json.String path) ]
+                  | None -> []
+                in
+                print_endline
+                  (Trace.Json.to_string ~pretty:true
+                     (Compiler.report_to_json ~cost ~meta report))
+              | Some `Text | None ->
+                Format.printf "%a" Compiler.pp_report report;
+                (match trace_mode with
+                | Some `Text -> print_string (Trace.to_text report.Compiler.trace)
+                | Some `Json | None -> ());
+                (match write_output () with
+                | Some path -> Format.printf "wrote %s@." path
+                | None -> print_string qasm));
+              if report.Compiler.verification = Compiler.Mismatch then
+                Error (`Msg "formal verification FAILED: output is not equivalent")
+              else Ok ()
+          in
+          List.fold_left
+            (fun acc input ->
+              match acc with Error _ -> acc | Ok () -> compile_and_print input)
+            (Ok ()) inputs
+      end
   in
   let term =
     Term.(
       term_result
-        (const run $ input $ device $ custom_map $ qubits $ output $ no_optimize
-       $ no_verify $ strict $ weights $ place $ router $ trace_mode))
+        (const run $ inputs_opt $ inputs_pos $ device $ custom_map $ qubits
+       $ output $ no_optimize $ no_verify $ strict $ weights $ place $ router
+       $ trace_mode $ keep_going $ deadline $ opt_iterations $ swap_budget
+       $ node_budget $ max_sim_qubits $ verify_mode $ inject_specs
+       $ inject_seed))
   in
   Cmd.v
     (Cmd.info "compile"
-       ~doc:"Synthesize a technology-dependent realization for a device.")
+       ~doc:
+         "Synthesize a technology-dependent realization for a device.  \
+          Exits 0 on success (including budget-degraded and unverified \
+          outputs), 123 on reported failures (diagnostics, MISMATCH, failed \
+          batch inputs), 124 on command-line misuse, 125 on internal errors.")
     term
 
 (* --- devices --- *)
@@ -601,4 +869,36 @@ let main =
       stats_cmd; run_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+(* Last-resort exception boundary.  Subcommands report failures through
+   cmdliner's [term_result] (exit 123); anything that still escapes is
+   caught here so the user sees a one-line [file:line:]-style message —
+   never an OCaml backtrace.  Known domain exceptions exit 123 like any
+   other reported failure; everything else is a bug and exits 125. *)
+let () =
+  match Cmd.eval ~catch:false ~term_err:Cmd.Exit.some_error main with
+  | code -> exit code
+  | exception e ->
+    let reported =
+      match e with
+      | Compiler.Compile_error msg -> Some msg
+      | Lint.Contract.Violated msg -> Some msg
+      | Qformats.Qasm.Parse_error { line; message } ->
+        Some (Printf.sprintf "line %d: QASM parse error: %s" line message)
+      | Qformats.Qc.Parse_error { line; message } ->
+        Some (Printf.sprintf "line %d: .qc parse error: %s" line message)
+      | Qformats.Real.Parse_error { line; message } ->
+        Some (Printf.sprintf "line %d: .real parse error: %s" line message)
+      | Qformats.Pla.Parse_error { line; message } ->
+        Some (Printf.sprintf "line %d: PLA parse error: %s" line message)
+      | Faultinject.Injected stage ->
+        Some (Printf.sprintf "injected fault fired in stage %s" stage)
+      | Sys_error msg -> Some msg
+      | _ -> None
+    in
+    (match reported with
+    | Some msg ->
+      Printf.eprintf "qsc: %s\n" msg;
+      exit 123
+    | None ->
+      Printf.eprintf "qsc: internal error: %s\n" (Printexc.to_string e);
+      exit 125)

@@ -5,8 +5,18 @@ type input =
 type verification_mode =
   | Skip
   | Qmdd_check of { node_budget : int option }
+  | Fallback of { node_budget : int option; max_sim_qubits : int }
 
 type router = Ctr | Weighted_ctr of (int -> int -> float) | Tracking
+
+type budgets = {
+  deadline_seconds : float option;
+  max_optimize_iterations : int option;
+  swap_budget : int option;
+}
+
+let no_budgets =
+  { deadline_seconds = None; max_optimize_iterations = None; swap_budget = None }
 
 type options = {
   device : Device.t;
@@ -17,6 +27,8 @@ type options = {
   use_placement : bool;
   verification : verification_mode;
   check_contracts : bool;
+  budgets : budgets;
+  inject : (Diagnostic.stage -> Circuit.t -> Circuit.t) option;
 }
 
 let default_options ~device =
@@ -29,18 +41,22 @@ let default_options ~device =
     use_placement = false;
     verification = Qmdd_check { node_budget = Some 8_000_000 };
     check_contracts = false;
+    budgets = no_budgets;
+    inject = None;
   }
 
 type verification_result =
   | Verified
   | Verified_staged
+  | Verified_sim
   | Mismatch
   | Budget_exceeded
+  | Unverified of string
   | Skipped
 
 let verified = function
-  | Verified | Verified_staged -> true
-  | Mismatch | Budget_exceeded | Skipped -> false
+  | Verified | Verified_staged | Verified_sim -> true
+  | Mismatch | Budget_exceeded | Unverified _ | Skipped -> false
 
 type report = {
   reference : Circuit.t;
@@ -51,15 +67,24 @@ type report = {
   optimized_cost : float;
   percent_decrease : float;
   verification : verification_result;
+  degraded : (Diagnostic.stage * string) list;
+  diagnostics : Diagnostic.t list;
   elapsed_seconds : float;
   verification_seconds : float;
   trace : Trace.span list;
 }
 
+let degraded r = r.degraded <> []
+
 let wall_seconds_since t0_ns =
   Int64.to_float (Int64.sub (Trace.now_ns ()) t0_ns) /. 1e9
 
 exception Compile_error of string
+
+(* Internal control flow of [compile_checked]: every fatal condition in
+   the pipeline is converted into exactly one diagnostic and thrown to
+   the single handler at the bottom.  Never escapes this module. *)
+exception Abort of Diagnostic.t
 
 let front_end = function
   | Quantum c -> c
@@ -102,9 +127,11 @@ let verify_staged ~node_budget ~qmdd_stats ~route device native unoptimized
 
 let verify mode options ~trace ~route ~native ~unoptimized ~optimized
     reference =
-  match mode with
-  | Skip -> (Skipped, 0.0)
-  | Qmdd_check { node_budget } ->
+  (* [fallback = Some k]: chase an inconclusive QMDD outcome down the
+     resilience chain — staged proof, then the dense simulator oracle
+     for registers of at most [k] qubits, then [Unverified] with the
+     reason — never an exception. *)
+  let run ~node_budget ~fallback =
     let sp = Trace.start trace "verify" in
     let t0 = Trace.now_ns () in
     (* Aggregate QMDD manager counters over every equivalence check the
@@ -155,7 +182,7 @@ let verify mode options ~trace ~route ~native ~unoptimized ~optimized
         | outcome -> outcome
         | exception Qmdd.Node_budget_exceeded -> Budget_exceeded
     in
-    let outcome =
+    let qmdd_outcome () =
       (* Wide registers go straight to the staged proof; small ones to
          the cheaper single-shot check, with the staged chain as the
          fallback when the diagram outgrows the budget. *)
@@ -168,6 +195,38 @@ let verify mode options ~trace ~route ~native ~unoptimized ~optimized
         | Budget_exceeded -> staged ()
         | outcome -> outcome
     in
+    let sim_used = ref false in
+    let outcome =
+      match fallback with
+      | None -> qmdd_outcome ()
+      | Some max_sim_qubits -> (
+        let oracle reason =
+          let n = Circuit.n_qubits reference in
+          let cap = min max_sim_qubits Sim.max_unitary_qubits in
+          if n > cap then
+            Unverified
+              (Printf.sprintf
+                 "%s; %d qubits exceeds the %d-qubit dense-matrix oracle"
+                 reason n cap)
+          else begin
+            sim_used := true;
+            match Sim.equivalent ~up_to_phase:false reference optimized with
+            | true -> Verified_sim
+            | false -> Mismatch
+            | exception exn ->
+              Unverified
+                (Printf.sprintf "%s; dense-matrix oracle raised %s" reason
+                   (Printexc.to_string exn))
+          end
+        in
+        match qmdd_outcome () with
+        | Budget_exceeded -> oracle "QMDD node budget exhausted"
+        | outcome -> outcome
+        | exception exn ->
+          oracle
+            (Printf.sprintf "QMDD equivalence raised %s"
+               (Printexc.to_string exn)))
+    in
     let elapsed = wall_seconds_since t0 in
     Trace.stop_with trace sp ~cost:options.cost
       ~counters:
@@ -179,156 +238,348 @@ let verify mode options ~trace ~route ~native ~unoptimized ~optimized
           ("qmdd_mul_cache_misses", float_of_int !mul_misses);
           ("qmdd_add_cache_hits", float_of_int !add_hits);
           ("qmdd_add_cache_misses", float_of_int !add_misses);
+          ("fallback_sim", if !sim_used then 1.0 else 0.0);
         ]
       optimized;
     (outcome, elapsed)
+  in
+  match mode with
+  | Skip -> (Skipped, 0.0)
+  | Qmdd_check { node_budget } -> run ~node_budget ~fallback:None
+  | Fallback { node_budget; max_sim_qubits } ->
+    run ~node_budget ~fallback:(Some max_sim_qubits)
 
-let compile ?(trace = Trace.disabled) options input =
+let compile_checked ?(trace = Trace.disabled) options input =
   let device = options.device in
   let cost = options.cost in
+  let warnings = ref [] in
+  let degradations = ref [] in
+  let degrade stage reason =
+    (* Both post-optimize levels can hit the same cap with the same
+       message; one entry per distinct (stage, reason) keeps the report
+       readable. *)
+    if not (List.mem (stage, reason) !degradations) then begin
+      degradations := (stage, reason) :: !degradations;
+      warnings :=
+        Diagnostic.warning ~stage ~kind:Diagnostic.Budget_exhausted reason
+        :: !warnings
+    end
+  in
+  (* Every stage runs under a guard that converts the exceptions the
+     stage is known to throw — and anything unexpected — into one
+     structured diagnostic naming the stage. *)
+  let guard stage f =
+    try f () with
+    | Abort _ as e -> raise e
+    | Lint.Contract.Violated msg ->
+      raise
+        (Abort
+           (Diagnostic.error ~stage ~kind:Diagnostic.Contract_violation msg))
+    | Decompose.Not_enough_qubits msg ->
+      raise (Abort (Diagnostic.error ~stage ~kind:Diagnostic.Capacity msg))
+    | Route.Unroutable msg ->
+      raise (Abort (Diagnostic.error ~stage ~kind:Diagnostic.Unroutable msg))
+    | Invalid_argument msg ->
+      raise (Abort (Diagnostic.error ~stage ~kind:Diagnostic.Invalid_gate msg))
+    | Qmdd.Node_budget_exceeded ->
+      raise
+        (Abort
+           (Diagnostic.error ~stage ~kind:Diagnostic.Budget_exhausted
+              "QMDD node budget exceeded"))
+    | exn ->
+      raise
+        (Abort
+           (Diagnostic.error ~stage ~kind:Diagnostic.Internal
+              (Printexc.to_string exn)))
+  in
+  (* A corrupted gate stream (NaN/infinite rotation angle) has no
+     defined unitary; catch it at the stage handoff where it appeared,
+     before it can poison the QMDD value table downstream. *)
+  let validate_stream stage c =
+    match Lint.check ~rules:[ Lint.Rule.Non_finite_angle ] c with
+    | [] -> c
+    | f :: _ ->
+      raise
+        (Abort
+           (Diagnostic.error ~stage ~kind:Diagnostic.Invalid_gate
+              f.Lint.message))
+  in
+  let inject stage c =
+    match options.inject with
+    | None -> c
+    | Some f -> guard stage (fun () -> validate_stream stage (f stage c))
+  in
+  let deadline_ns =
+    Option.map
+      (fun s -> Int64.add (Trace.now_ns ()) (Int64.of_float (s *. 1e9)))
+      options.budgets.deadline_seconds
+  in
+  let past_deadline () =
+    match deadline_ns with
+    | None -> false
+    | Some d -> Int64.compare (Trace.now_ns ()) d >= 0
+  in
   (* Contract audit points (--strict / check_contracts): each stage's
      postcondition is checked where it fired, not at the final QMDD
      equivalence, so a broken pass names itself. *)
   let contract stage findings =
-    if options.check_contracts then Lint.Contract.enforce ~stage findings
+    if options.check_contracts then
+      guard stage (fun () ->
+          Lint.Contract.enforce
+            ~stage:(Diagnostic.stage_to_string stage)
+            findings)
   in
-  let sp = Trace.start trace "front-end" in
-  let circuit = front_end input in
-  Trace.stop_with trace sp ~cost circuit;
-  if Circuit.n_qubits circuit > Device.n_qubits device then
-    raise
-      (Compile_error
-         (Printf.sprintf "circuit needs %d qubits but %s has only %d"
-            (Circuit.n_qubits circuit) (Device.name device)
-            (Device.n_qubits device)));
-  let t0 = Trace.now_ns () in
-  (* Widening to the device register first gives generalized-Toffoli
-     decomposition its borrowable qubits. *)
-  let reference = Circuit.widen circuit (Device.n_qubits device) in
-  let staged =
-    (* The technology-independent stage always optimizes by gate counts
-       (Eqn. 2): hardware-aware costs like per-coupling fidelity are
-       only meaningful once gates sit on physical qubits. *)
-    if options.pre_optimize then begin
-      let sp = Trace.start_with trace "pre-optimize" ~cost reference in
-      let staged =
-        Optimize.optimize ~cost:Cost.eqn2 ~trace ~stage:"pre-optimize"
-          reference
-      in
-      Trace.stop_with trace sp ~cost staged;
-      staged
-    end
-    else reference
+  let max_iterations = options.budgets.max_optimize_iterations in
+  let optimize_outcome stage outcome =
+    if outcome.Optimize.hit_iteration_cap then
+      degrade stage
+        (Printf.sprintf "stopped after %d sweeps: iteration cap reached"
+           outcome.Optimize.iterations);
+    if outcome.Optimize.hit_deadline then
+      degrade stage
+        (Printf.sprintf "stopped after %d sweeps: wall-clock deadline exceeded"
+           outcome.Optimize.iterations);
+    outcome.Optimize.hit_iteration_cap || outcome.Optimize.hit_deadline
   in
-  contract "pre-optimize"
-    (Lint.Contract.after_optimize ~before:reference ~after:staged);
-  let sp = Trace.start_with trace "decompose" ~cost staged in
-  let native =
-    match Decompose.to_native staged with
-    | c -> c
-    | exception Decompose.Not_enough_qubits msg -> raise (Compile_error msg)
+  let run () =
+    let sp = Trace.start trace "front-end" in
+    let circuit = guard Diagnostic.Front_end (fun () -> front_end input) in
+    Trace.stop_with trace sp ~cost circuit;
+    let circuit = inject Diagnostic.Front_end circuit in
+    let circuit = validate_stream Diagnostic.Front_end circuit in
+    if Circuit.n_qubits circuit > Device.n_qubits device then
+      raise
+        (Abort
+           (Diagnostic.error ~stage:Diagnostic.Front_end
+              ~kind:Diagnostic.Capacity
+              (Printf.sprintf "circuit needs %d qubits but %s has only %d"
+                 (Circuit.n_qubits circuit) (Device.name device)
+                 (Device.n_qubits device))));
+    let t0 = Trace.now_ns () in
+    (* Widening to the device register first gives generalized-Toffoli
+       decomposition its borrowable qubits. *)
+    let reference = Circuit.widen circuit (Device.n_qubits device) in
+    let staged =
+      (* The technology-independent stage always optimizes by gate counts
+         (Eqn. 2): hardware-aware costs like per-coupling fidelity are
+         only meaningful once gates sit on physical qubits. *)
+      if not options.pre_optimize then reference
+      else if past_deadline () then begin
+        degrade Diagnostic.Pre_optimize "skipped: wall-clock deadline exceeded";
+        reference
+      end
+      else begin
+        let sp = Trace.start_with trace "pre-optimize" ~cost reference in
+        let outcome =
+          guard Diagnostic.Pre_optimize (fun () ->
+              Optimize.optimize_budgeted ~cost:Cost.eqn2 ~trace
+                ~stage:"pre-optimize" ?max_iterations ?deadline_ns reference)
+        in
+        let was_degraded = optimize_outcome Diagnostic.Pre_optimize outcome in
+        Trace.stop_with trace sp ~cost
+          ~counters:(if was_degraded then [ ("degraded", 1.0) ] else [])
+          outcome.Optimize.circuit;
+        outcome.Optimize.circuit
+      end
+    in
+    let staged = inject Diagnostic.Pre_optimize staged in
+    contract Diagnostic.Pre_optimize
+      (Lint.Contract.after_optimize ~before:reference ~after:staged);
+    let sp = Trace.start_with trace "decompose" ~cost staged in
+    let native =
+      guard Diagnostic.Decompose (fun () -> Decompose.to_native staged)
+    in
+    Trace.stop_with trace sp ~cost native;
+    let native = inject Diagnostic.Decompose native in
+    contract Diagnostic.Decompose (Lint.Contract.after_decompose native);
+    (* Placement relabels the register; verification then compares
+       against the identically-relabelled reference. *)
+    let placement =
+      if options.use_placement && not (Device.is_simulator device) then
+        if past_deadline () then begin
+          degrade Diagnostic.Place "skipped: wall-clock deadline exceeded";
+          None
+        end
+        else begin
+          let sp = Trace.start trace "place" in
+          let a = guard Diagnostic.Place (fun () -> Place.choose device native) in
+          let moved = ref 0 in
+          Array.iteri (fun l p -> if l <> p then incr moved) a;
+          Trace.stop trace sp
+            ~counters:[ ("moved_qubits", float_of_int !moved) ]
+            ();
+          Some a
+        end
+      else None
+    in
+    let native, reference =
+      match placement with
+      | Some a ->
+        guard Diagnostic.Place (fun () ->
+            (Place.apply a native, Place.apply a reference))
+      | None -> (native, reference)
+    in
+    let native = inject Diagnostic.Place native in
+    let swap_budget = options.budgets.swap_budget in
+    let route ?stats ?swap_budget d c =
+      match options.router with
+      | Ctr -> Route.route_circuit_swaps ?stats ?swap_budget d c
+      | Weighted_ctr weight ->
+        Route.route_circuit_swaps_weighted ?stats ?swap_budget d ~weight c
+      | Tracking -> Route.route_circuit_tracking ?stats ?swap_budget d c
+    in
+    (* The verifier reroutes gates blockwise for the staged proof; those
+       repeats must not inflate the route pass's counters, and they must
+       not be budget-capped (the proof needs fully-legal blocks). *)
+    let route_for_verify d c = route d c in
+    let route_stats =
+      if Trace.enabled trace || swap_budget <> None then
+        Some (Route.new_stats ())
+      else None
+    in
+    let sp = Trace.start_with trace "route" ~cost native in
+    let routed_swaps =
+      guard Diagnostic.Route (fun () ->
+          route ?stats:route_stats ?swap_budget device native)
+    in
+    let unrouted =
+      match route_stats with None -> 0 | Some s -> s.Route.unrouted_cnots
+    in
+    if unrouted > 0 then
+      degrade Diagnostic.Route
+        (Printf.sprintf "%d CNOT%s left as written: SWAP budget exhausted"
+           unrouted
+           (if unrouted = 1 then "" else "s"));
+    let route_counters =
+      (match route_stats with
+      | None -> []
+      | Some s ->
+        [
+          ("rerouted_cnots", float_of_int s.Route.rerouted_cnots);
+          ("reversed_cnots", float_of_int s.Route.reversed_cnots);
+          ("swaps_inserted", float_of_int s.Route.swaps_inserted);
+          ("swap_hops", float_of_int s.Route.swap_hops);
+          ("max_path_hops", float_of_int s.Route.max_path_hops);
+          ("unrouted_cnots", float_of_int s.Route.unrouted_cnots);
+        ])
+      @ if unrouted > 0 then [ ("degraded", 1.0) ] else []
+    in
+    Trace.stop_with trace sp ~cost ~counters:route_counters routed_swaps;
+    let routed_swaps = inject Diagnostic.Route routed_swaps in
+    let sp = Trace.start_with trace "expand-swaps" ~cost routed_swaps in
+    let unoptimized =
+      guard Diagnostic.Expand_swaps (fun () ->
+          Route.expand_swaps device routed_swaps)
+    in
+    Trace.stop_with trace sp ~cost unoptimized;
+    let unoptimized = inject Diagnostic.Expand_swaps unoptimized in
+    (* A budget-degraded route intentionally hands over unrouted CNOTs;
+       auditing it against full device legality would report the
+       degradation as a broken pass. *)
+    if unrouted = 0 then
+      contract Diagnostic.Route (Lint.Contract.after_route device unoptimized);
+    let optimized =
+      if not options.post_optimize then unoptimized
+      else if past_deadline () then begin
+        degrade Diagnostic.Post_optimize
+          "skipped: wall-clock deadline exceeded";
+        unoptimized
+      end
+      else begin
+        (* Two-level optimization: first cancel whole CTR SWAPs (a
+           swap-back annihilates the next gate's swap-forward), then
+           expand the survivors to CNOTs and optimize at gate level. *)
+        let sp = Trace.start_with trace "post-optimize" ~cost routed_swaps in
+        let swap_outcome =
+          guard Diagnostic.Post_optimize (fun () ->
+              Optimize.optimize_budgeted ~device ~cost ~trace
+                ~stage:"post-optimize/swap-level" ?max_iterations ?deadline_ns
+                routed_swaps)
+        in
+        let gate_outcome =
+          guard Diagnostic.Post_optimize (fun () ->
+              Optimize.optimize_budgeted ~device ~cost ~trace
+                ~stage:"post-optimize/gate-level" ?max_iterations ?deadline_ns
+                (Route.expand_swaps device swap_outcome.Optimize.circuit))
+        in
+        let was_degraded =
+          (* Evaluate both: each stopped level reports itself. *)
+          let a = optimize_outcome Diagnostic.Post_optimize swap_outcome in
+          let b = optimize_outcome Diagnostic.Post_optimize gate_outcome in
+          a || b
+        in
+        Trace.stop_with trace sp ~cost
+          ~counters:(if was_degraded then [ ("degraded", 1.0) ] else [])
+          gate_outcome.Optimize.circuit;
+        gate_outcome.Optimize.circuit
+      end
+    in
+    let optimized = inject Diagnostic.Post_optimize optimized in
+    contract Diagnostic.Post_optimize
+      (Lint.Contract.after_optimize ~before:unoptimized ~after:optimized);
+    if unrouted = 0 then
+      contract Diagnostic.Post_optimize
+        (Lint.Contract.after_route device optimized);
+    let elapsed_seconds = wall_seconds_since t0 in
+    let unoptimized_cost = Cost.evaluate cost unoptimized in
+    let optimized_cost = Cost.evaluate cost optimized in
+    let verification, verification_seconds =
+      match options.verification with
+      | Skip -> (Skipped, 0.0)
+      | (Qmdd_check _ | Fallback _) as mode ->
+        if past_deadline () then
+          ( (match mode with
+            | Fallback _ ->
+              Unverified "wall-clock deadline exceeded before verification"
+            | Qmdd_check _ | Skip -> Budget_exceeded),
+            0.0 )
+        else
+          guard Diagnostic.Verify (fun () ->
+              verify mode options ~trace ~route:route_for_verify ~native
+                ~unoptimized ~optimized reference)
+    in
+    (match verification with
+    | Budget_exceeded -> degrade Diagnostic.Verify "QMDD node budget exhausted"
+    | Unverified reason -> degrade Diagnostic.Verify reason
+    | Verified | Verified_staged | Verified_sim | Mismatch | Skipped -> ());
+    {
+      reference;
+      placement;
+      unoptimized;
+      optimized;
+      unoptimized_cost;
+      optimized_cost;
+      percent_decrease =
+        Cost.percent_decrease ~before:unoptimized_cost ~after:optimized_cost;
+      verification;
+      degraded = List.rev !degradations;
+      diagnostics = List.rev !warnings;
+      elapsed_seconds;
+      verification_seconds;
+      trace = Trace.spans trace;
+    }
   in
-  Trace.stop_with trace sp ~cost native;
-  contract "decompose" (Lint.Contract.after_decompose native);
-  (* Placement relabels the register; verification then compares
-     against the identically-relabelled reference. *)
-  let placement =
-    if options.use_placement && not (Device.is_simulator device) then begin
-      let sp = Trace.start trace "place" in
-      let a = Place.choose device native in
-      let moved = ref 0 in
-      Array.iteri (fun l p -> if l <> p then incr moved) a;
-      Trace.stop trace sp
-        ~counters:[ ("moved_qubits", float_of_int !moved) ]
-        ();
-      Some a
-    end
-    else None
-  in
-  let native, reference =
-    match placement with
-    | Some a -> (Place.apply a native, Place.apply a reference)
-    | None -> (native, reference)
-  in
-  let route ?stats d c =
-    match options.router with
-    | Ctr -> Route.route_circuit_swaps ?stats d c
-    | Weighted_ctr weight -> Route.route_circuit_swaps_weighted ?stats d ~weight c
-    | Tracking -> Route.route_circuit_tracking ?stats d c
-  in
-  (* The verifier reroutes gates blockwise for the staged proof; those
-     repeats must not inflate the route pass's counters. *)
-  let route_for_verify d c = route d c in
-  let route_stats =
-    if Trace.enabled trace then Some (Route.new_stats ()) else None
-  in
-  let sp = Trace.start_with trace "route" ~cost native in
-  let routed_swaps =
-    match route ?stats:route_stats device native with
-    | c -> c
-    | exception Route.Unroutable msg -> raise (Compile_error msg)
-  in
-  let route_counters =
-    match route_stats with
-    | None -> []
-    | Some s ->
-      [
-        ("rerouted_cnots", float_of_int s.Route.rerouted_cnots);
-        ("reversed_cnots", float_of_int s.Route.reversed_cnots);
-        ("swaps_inserted", float_of_int s.Route.swaps_inserted);
-        ("swap_hops", float_of_int s.Route.swap_hops);
-        ("max_path_hops", float_of_int s.Route.max_path_hops);
-      ]
-  in
-  Trace.stop_with trace sp ~cost ~counters:route_counters routed_swaps;
-  let sp = Trace.start_with trace "expand-swaps" ~cost routed_swaps in
-  let unoptimized = Route.expand_swaps device routed_swaps in
-  Trace.stop_with trace sp ~cost unoptimized;
-  contract "route" (Lint.Contract.after_route device unoptimized);
-  let optimized =
-    if options.post_optimize then begin
-      (* Two-level optimization: first cancel whole CTR SWAPs (a
-         swap-back annihilates the next gate's swap-forward), then
-         expand the survivors to CNOTs and optimize at gate level. *)
-      let sp = Trace.start_with trace "post-optimize" ~cost routed_swaps in
-      let swap_level =
-        Optimize.optimize ~device ~cost ~trace ~stage:"post-optimize/swap-level"
-          routed_swaps
-      in
-      let optimized =
-        Optimize.optimize ~device ~cost ~trace ~stage:"post-optimize/gate-level"
-          (Route.expand_swaps device swap_level)
-      in
-      Trace.stop_with trace sp ~cost optimized;
-      optimized
-    end
-    else unoptimized
-  in
-  contract "post-optimize"
-    (Lint.Contract.after_optimize ~before:unoptimized ~after:optimized);
-  contract "post-optimize"
-    (Lint.Contract.after_route device optimized);
-  let elapsed_seconds = wall_seconds_since t0 in
-  let unoptimized_cost = Cost.evaluate cost unoptimized in
-  let optimized_cost = Cost.evaluate cost optimized in
-  let verification, verification_seconds =
-    verify options.verification options ~trace ~route:route_for_verify ~native
-      ~unoptimized ~optimized reference
-  in
-  {
-    reference;
-    placement;
-    unoptimized;
-    optimized;
-    unoptimized_cost;
-    optimized_cost;
-    percent_decrease =
-      Cost.percent_decrease ~before:unoptimized_cost ~after:optimized_cost;
-    verification;
-    elapsed_seconds;
-    verification_seconds;
-    trace = Trace.spans trace;
-  }
+  match run () with
+  | report -> Ok report
+  | exception Abort d -> Error (List.rev (d :: !warnings))
+
+let compile ?trace options input =
+  match compile_checked ?trace options input with
+  | Ok r -> r
+  | Error ds -> (
+    let fatal =
+      match
+        List.find_opt (fun d -> d.Diagnostic.severity = Diagnostic.Error) ds
+      with
+      | Some d -> d
+      | None ->
+        Diagnostic.error ~stage:Diagnostic.Driver ~kind:Diagnostic.Internal
+          "compile_checked failed without an error diagnostic"
+    in
+    match fatal.Diagnostic.kind with
+    | Diagnostic.Contract_violation ->
+      raise (Lint.Contract.Violated fatal.Diagnostic.message)
+    | _ -> raise (Compile_error (Diagnostic.to_string fatal)))
 
 let extension path =
   (* Only the basename may contribute the dot: a path like
@@ -342,43 +593,61 @@ let extension path =
     | Some i ->
       String.lowercase_ascii (String.sub base i (String.length base - i))
 
-let parse_file path =
-  let parse_error fmt_name msg =
-    raise (Compile_error (Printf.sprintf "%s: %s parse error: %s" path fmt_name msg))
+let parse_file_checked path =
+  let parse_error fmt_name line message =
+    Error
+      (Diagnostic.error ~file:path ~line ~stage:Diagnostic.Front_end
+         ~kind:Diagnostic.Parse
+         (Printf.sprintf "%s parse error: %s" fmt_name message))
+  in
+  let io_error msg =
+    Error (Diagnostic.error ~file:path ~stage:Diagnostic.Driver ~kind:Diagnostic.Io msg)
   in
   match extension path with
   | ".pla" -> (
     match Qformats.Pla.read_file path with
-    | pla -> Classical pla
+    | pla -> Ok (Classical pla)
     | exception Qformats.Pla.Parse_error { line; message } ->
-      parse_error "PLA" (Printf.sprintf "line %d: %s" line message))
+      parse_error "PLA" line message
+    | exception Sys_error msg -> io_error msg)
   | ".qasm" -> (
     match Qformats.Qasm.read_file path with
-    | c -> Quantum c
+    | c -> Ok (Quantum c)
     | exception Qformats.Qasm.Parse_error { line; message } ->
-      parse_error "QASM" (Printf.sprintf "line %d: %s" line message))
+      parse_error "QASM" line message
+    | exception Sys_error msg -> io_error msg)
   | ".qc" -> (
     match Qformats.Qc.read_file path with
-    | qc -> Quantum qc.Qformats.Qc.circuit
+    | qc -> Ok (Quantum qc.Qformats.Qc.circuit)
     | exception Qformats.Qc.Parse_error { line; message } ->
-      parse_error ".qc" (Printf.sprintf "line %d: %s" line message))
+      parse_error ".qc" line message
+    | exception Sys_error msg -> io_error msg)
   | ".real" -> (
     match Qformats.Real.read_file path with
-    | real -> Quantum real.Qformats.Real.circuit
+    | real -> Ok (Quantum real.Qformats.Real.circuit)
     | exception Qformats.Real.Parse_error { line; message } ->
-      parse_error ".real" (Printf.sprintf "line %d: %s" line message))
+      parse_error ".real" line message
+    | exception Sys_error msg -> io_error msg)
   | other ->
-    raise
-      (Compile_error
-         (Printf.sprintf "%s: unsupported input extension %S" path other))
+    Error
+      (Diagnostic.error ~file:path ~stage:Diagnostic.Driver
+         ~kind:Diagnostic.Unsupported
+         (Printf.sprintf "unsupported input extension %S" other))
+
+let parse_file path =
+  match parse_file_checked path with
+  | Ok input -> input
+  | Error d -> raise (Compile_error (Diagnostic.to_string d))
 
 let emit_qasm report = Qformats.Qasm.to_string report.optimized
 
 let verification_to_string = function
   | Verified -> "verified (QMDD)"
   | Verified_staged -> "verified (QMDD, staged)"
+  | Verified_sim -> "verified (dense-matrix oracle)"
   | Mismatch -> "MISMATCH"
   | Budget_exceeded -> "not verified (node budget exceeded)"
+  | Unverified reason -> Printf.sprintf "not verified (%s)" reason
   | Skipped -> "skipped"
 
 let pp_report fmt r =
@@ -408,6 +677,12 @@ let pp_report fmt r =
          String.concat ", "
            (List.map (fun (l, p) -> Printf.sprintf "q%d->q%d" l p) shown))
       (if hidden > 0 then Printf.sprintf " … (+%d more)" hidden else ""));
+  List.iter
+    (fun (stage, reason) ->
+      Format.fprintf fmt "  DEGRADED     %s: %s@\n"
+        (Diagnostic.stage_to_string stage)
+        reason)
+    r.degraded;
   Format.fprintf fmt "  verification %s (%.3fs)@\n"
     (verification_to_string r.verification)
     r.verification_seconds;
@@ -416,8 +691,10 @@ let pp_report fmt r =
 let verification_tag = function
   | Verified -> "verified"
   | Verified_staged -> "verified-staged"
+  | Verified_sim -> "verified-sim"
   | Mismatch -> "mismatch"
   | Budget_exceeded -> "budget-exceeded"
+  | Unverified _ -> "unverified"
   | Skipped -> "skipped"
 
 let report_to_json ?(cost = Cost.eqn2) ?(meta = []) r =
@@ -446,6 +723,24 @@ let report_to_json ?(cost = Cost.eqn2) ?(meta = []) r =
           | Some a ->
             Json.List (Array.to_list (Array.map (fun p -> Json.Int p) a)) );
         ("verification", Json.String (verification_tag r.verification));
+        ( "verification_reason",
+          match r.verification with
+          | Unverified reason -> Json.String reason
+          | Verified | Verified_staged | Verified_sim | Mismatch
+          | Budget_exceeded | Skipped ->
+            Json.Null );
+        ( "degraded",
+          Json.List
+            (List.map
+               (fun (stage, reason) ->
+                 Json.Obj
+                   [
+                     ("stage", Json.String (Diagnostic.stage_to_string stage));
+                     ("reason", Json.String reason);
+                   ])
+               r.degraded) );
+        ( "diagnostics",
+          Json.List (List.map Diagnostic.to_json r.diagnostics) );
         ("elapsed_seconds", Json.Float r.elapsed_seconds);
         ("verification_seconds", Json.Float r.verification_seconds);
         ("passes", Json.List (List.map Trace.span_to_json r.trace));

@@ -14,7 +14,19 @@
       |  QMDD formal equivalence check against the input
       v
     technology-dependent OpenQASM
-    v} *)
+    v}
+
+    {2 Failure semantics}
+
+    The primary entry point is {!compile_checked}: it returns a
+    {!report} or a non-empty list of structured {!Diagnostic.t}s, and
+    never lets an exception escape.  Per-stage resource {!budgets}
+    degrade gracefully — a stage that runs out returns the best circuit
+    it has, the report marks the stage in {!report.degraded}, and the
+    pipeline continues.  The {!Fallback} verification mode never aborts
+    either: it walks QMDD → staged QMDD → dense-simulator oracle →
+    {!Unverified} with the reason.  The raising {!compile} is a thin
+    compatibility wrapper. *)
 
 (** What the user handed the tool. *)
 type input =
@@ -27,6 +39,16 @@ type input =
 type verification_mode =
   | Skip
   | Qmdd_check of { node_budget : int option }
+      (** QMDD equivalence (direct or staged); reports
+          [Budget_exceeded] when the diagram outgrows the budget *)
+  | Fallback of { node_budget : int option; max_sim_qubits : int }
+      (** the resilient chain: budgeted QMDD equivalence, then the
+          staged proof, then — when both exhaust the node budget — the
+          dense-matrix simulator oracle for registers of at most
+          [max_sim_qubits] qubits (further clamped to
+          {!Sim.max_unitary_qubits}), and finally {!Unverified} with
+          the reason.  Never raises and never reports
+          [Budget_exceeded]. *)
 
 (** Which rerouting strategy handles uncoupled CNOTs. *)
 type router =
@@ -40,6 +62,33 @@ type router =
   | Tracking
       (** baseline for comparison: accumulate SWAPs, track the layout,
           restore once at the end *)
+
+(** Per-stage resource budgets.  Every field defaults to [None] =
+    unlimited; a stage that exhausts its budget stops with the best
+    circuit produced so far, the report marks it in {!report.degraded},
+    and compilation continues — budgets never abort. *)
+type budgets = {
+  deadline_seconds : float option;
+      (** wall-clock deadline for the whole compile, measured on the
+          monotonic clock from the moment {!compile_checked} is
+          entered.  Checked at stage boundaries and between
+          optimization sweeps: once past, optional stages
+          (pre/post-optimization, placement) are skipped and
+          verification reports [Unverified]/[Budget_exceeded] without
+          running. *)
+  max_optimize_iterations : int option;
+      (** cap on fixpoint sweeps for each optimization stage
+          (pre-optimize, post-optimize swap-level and gate-level
+          individually) *)
+  swap_budget : int option;
+      (** cap on routing SWAP insertions; once exhausted, remaining
+          uncoupled CNOTs are left as written — the unitary is
+          preserved but those gates are not device-legal (counted in
+          the route span's [unrouted_cnots] counter) *)
+}
+
+(** All budgets unlimited. *)
+val no_budgets : budgets
 
 type options = {
   device : Device.t;
@@ -60,20 +109,32 @@ type options = {
       (** audit every inter-stage handoff with the static pass
           contracts of {!Lint.Contract}: after decomposition only
           native gates, after routing device-legal, after each
-          optimization stage no gate-volume growth.  Raises
-          {!Lint.Contract.Violated} on the first broken contract —
-          catching a buggy pass where it fired rather than at the
-          final QMDD check.  Off by default; [qsc compile --strict]
-          turns it on. *)
+          optimization stage no gate-volume growth.  A broken contract
+          surfaces as a [Contract_violation] diagnostic from
+          {!compile_checked} (and {!Lint.Contract.Violated} from
+          {!compile}) naming the stage that fired.  When routing
+          degraded under a [swap_budget], the device-legality contract
+          is skipped — the unrouted CNOTs are expected.  Off by
+          default; [qsc compile --strict] turns it on. *)
+  budgets : budgets;
+  inject : (Diagnostic.stage -> Circuit.t -> Circuit.t) option;
+      (** fault-injection hook for robustness testing (see
+          {!Faultinject}): called at every stage handoff with the
+          stage's output circuit; whatever it returns (or raises) flows
+          through the pipeline's normal guards.  Called for every
+          circuit-producing stage ([Front_end] through
+          [Post_optimize]); [Driver] and [Verify] produce no circuit
+          and are never passed.  [None] (the default) costs nothing. *)
 }
 
 (** [default_options ~device] : Eqn. 2 cost, the CTR router, both
-    optimization stages on, placement off, and QMDD verification with
-    an 8,000,000-node budget.  The budget counts cumulative
-    unique-table allocation — a memory guard: the smaller 96-qubit
-    Table 8 verifications allocate a few million nodes while the live
-    diagram stays in the thousands, and runs that would exhaust memory
-    report [Budget_exceeded] instead. *)
+    optimization stages on, placement off, no per-stage budgets, no
+    fault injection, and QMDD verification with an 8,000,000-node
+    budget.  The budget counts cumulative unique-table allocation — a
+    memory guard: the smaller 96-qubit Table 8 verifications allocate a
+    few million nodes while the live diagram stays in the thousands,
+    and runs that would exhaust memory report [Budget_exceeded]
+    instead. *)
 val default_options : device:Device.t -> options
 
 type verification_result =
@@ -85,11 +146,22 @@ type verification_result =
           the single-shot diagram would exhaust the node budget (the
           larger Table 8 benchmarks); exactly as formal, three smaller
           proofs instead of one. *)
-  | Mismatch  (** QMDDs differ: the compiler broke the circuit *)
-  | Budget_exceeded  (** diagram grew past the node budget *)
+  | Verified_sim
+      (** verified by the dense-matrix simulator oracle ({!Fallback}
+          mode only): exact unitary comparison, independent of the
+          QMDD engine, limited to small registers *)
+  | Mismatch  (** the output provably differs: the compiler broke the
+                  circuit *)
+  | Budget_exceeded  (** diagram grew past the node budget
+                         ({!Qmdd_check} mode) *)
+  | Unverified of string
+      (** {!Fallback} mode ran out of options; the string says why
+          (node budget exhausted and the register too wide for the
+          oracle, deadline, ...).  Not a proof of difference. *)
   | Skipped
 
-(** [verified r] holds for both [Verified] and [Verified_staged]. *)
+(** [verified r] holds for [Verified], [Verified_staged], and
+    [Verified_sim]. *)
 val verified : verification_result -> bool
 
 type report = {
@@ -105,6 +177,15 @@ type report = {
   optimized_cost : float;
   percent_decrease : float;
   verification : verification_result;
+  degraded : (Diagnostic.stage * string) list;
+      (** stages that ran out of budget and stopped early, with the
+          reason, in pipeline order; [[]] for a clean compile.  Each
+          entry also appears as a [Budget_exhausted] warning in
+          [diagnostics], as a ["degraded"] counter on the stage's trace
+          span, and in {!report_to_json}. *)
+  diagnostics : Diagnostic.t list;
+      (** non-fatal (warning-severity) diagnostics accumulated during
+          the compile *)
   elapsed_seconds : float;
       (** synthesis wall-clock time (monotonic), excluding the front-end
           and verification *)
@@ -114,22 +195,45 @@ type report = {
           with the default disabled sink *)
 }
 
+(** [degraded r] holds when any stage degraded. *)
+val degraded : report -> bool
+
 exception Compile_error of string
 
-(** [compile ?trace options input] runs the full pipeline.
+(** [compile_checked ?trace options input] runs the full pipeline and
+    never raises: the result is either a report (possibly with
+    {!report.degraded} stages) or a non-empty diagnostic list whose
+    error-severity entries say what stopped the compile and where.
+    Every exception a stage is known to throw — and anything
+    unexpected — is converted into a diagnostic naming the stage:
+    {!Lint.Contract.Violated} becomes [Contract_violation],
+    {!Decompose.Not_enough_qubits} becomes [Capacity],
+    {!Route.Unroutable} becomes [Unroutable], [Invalid_argument]
+    (corrupt gate streams: out-of-range wires, non-finite angles)
+    becomes [Invalid_gate], and anything else becomes [Internal].
+    A NaN or infinite rotation angle in the input (or injected
+    mid-pipeline) is caught at the stage handoff by a
+    {!Lint.Rule.Non_finite_angle} scan before it can poison the QMDD
+    value table.
 
     When [trace] is a recording sink (default {!Trace.disabled}), every
     stage records a span — ["front-end"], ["pre-optimize"] (plus one
     ["pre-optimize/iteration-<i>"] per fixpoint sweep), ["decompose"],
     ["place"], ["route"] (with CTR counters: rerouted/reversed CNOTs,
-    SWAPs inserted, path hops), ["expand-swaps"], ["post-optimize"]
-    (with ["post-optimize/swap-level/..."] and
+    SWAPs inserted, path hops, unrouted CNOTs), ["expand-swaps"],
+    ["post-optimize"] (with ["post-optimize/swap-level/..."] and
     ["post-optimize/gate-level/..."] iterations), and ["verify"] (with
-    QMDD unique-table and operation-cache counters) — each with
-    before/after circuit snapshots under [options.cost].
+    QMDD unique-table and operation-cache counters plus
+    [fallback_sim]) — each with before/after circuit snapshots under
+    [options.cost].  A stage that degraded carries a ["degraded"]
+    counter of 1. *)
+val compile_checked :
+  ?trace:Trace.t -> options -> input -> (report, Diagnostic.t list) result
 
-    @raise Compile_error when the circuit cannot fit the device or a
-    generalized Toffoli has no borrowable qubit.
+(** [compile ?trace options input] is {!compile_checked} with the
+    historical raising surface.
+    @raise Compile_error on any failure other than a broken contract
+    (message = {!Diagnostic.to_string} of the first error diagnostic).
     @raise Lint.Contract.Violated when [check_contracts] is set and a
     stage hands over a circuit breaking its contract. *)
 val compile : ?trace:Trace.t -> options -> input -> report
@@ -139,9 +243,16 @@ val compile : ?trace:Trace.t -> options -> input -> report
     never count: [extension "runs.v2/adder" = ""]. *)
 val extension : string -> string
 
-(** [parse_file path] dispatches on the extension ([.pla], [.qasm],
-    [.qc], [.real]).
-    @raise Compile_error on unknown extensions or parse failures. *)
+(** [parse_file_checked path] dispatches on the extension ([.pla],
+    [.qasm], [.qc], [.real]) and never raises: parse failures carry the
+    file and 1-based line ([Parse] kind), unreadable files the system
+    message ([Io]), unknown extensions [Unsupported]. *)
+val parse_file_checked : string -> (input, Diagnostic.t) result
+
+(** [parse_file path] is the raising wrapper over
+    {!parse_file_checked}.
+    @raise Compile_error on any failure, with the rendered diagnostic
+    ([file:line: ...] prefix included) as the message. *)
 val parse_file : string -> input
 
 (** [emit_qasm report] renders the final circuit as OpenQASM 2.0. *)
@@ -150,16 +261,25 @@ val emit_qasm : report -> string
 (** [verification_to_string r] for logs and tables. *)
 val verification_to_string : verification_result -> string
 
+(** [verification_tag r] is the stable machine-readable tag used in
+    JSON outputs: ["verified"], ["verified-staged"], ["verified-sim"],
+    ["mismatch"], ["budget-exceeded"], ["unverified"], ["skipped"]. *)
+val verification_tag : verification_result -> string
+
 val pp_report : Format.formatter -> report -> unit
 
 (** [report_to_json ?cost ?meta r] renders the report as a JSON object:
     [meta] fields first (e.g. benchmark name, device), then
     ["unoptimized"] / ["optimized"] snapshot objects (gate volume,
     depth, T-count, T-depth, CNOT count, cost), ["percent_decrease"],
-    ["placement"] (array or null), ["verification"] tag,
-    ["elapsed_seconds"], ["verification_seconds"], and ["passes"] — the
-    trace spans via {!Trace.span_to_json}.  Snapshots are evaluated
-    under [cost] (default {!Cost.eqn2}); pass the compile cost for
-    consistency with the trace. *)
+    ["placement"] (array or null), ["verification"] tag
+    (["verified"], ["verified-staged"], ["verified-sim"],
+    ["mismatch"], ["budget-exceeded"], ["unverified"], ["skipped"]),
+    ["verification_reason"] (string for [Unverified], else null),
+    ["degraded"] — a list of [{"stage", "reason"}] objects —
+    ["diagnostics"], ["elapsed_seconds"], ["verification_seconds"],
+    and ["passes"] — the trace spans via {!Trace.span_to_json}.
+    Snapshots are evaluated under [cost] (default {!Cost.eqn2}); pass
+    the compile cost for consistency with the trace. *)
 val report_to_json :
   ?cost:Cost.t -> ?meta:(string * Trace.Json.t) list -> report -> Trace.Json.t

@@ -1,0 +1,75 @@
+exception Injected of string
+
+type fault = Raise | Nan_angle | Out_of_range_wire | Truncate
+
+let all_faults = [ Raise; Nan_angle; Out_of_range_wire; Truncate ]
+
+let fault_to_string = function
+  | Raise -> "raise"
+  | Nan_angle -> "nan-angle"
+  | Out_of_range_wire -> "out-of-range-wire"
+  | Truncate -> "truncate"
+
+let fault_of_string s =
+  List.find_opt (fun f -> fault_to_string f = s) all_faults
+
+type spec = { stage : Diagnostic.stage; fault : fault }
+
+let spec_to_string { stage; fault } =
+  Printf.sprintf "%s@%s" (fault_to_string fault)
+    (Diagnostic.stage_to_string stage)
+
+let stages =
+  [
+    Diagnostic.Front_end;
+    Diagnostic.Pre_optimize;
+    Diagnostic.Decompose;
+    Diagnostic.Place;
+    Diagnostic.Route;
+    Diagnostic.Expand_swaps;
+    Diagnostic.Post_optimize;
+  ]
+
+let matrix =
+  List.concat_map
+    (fun stage -> List.map (fun fault -> { stage; fault }) all_faults)
+    stages
+
+type t = {
+  rng : Random.State.t;
+  mutable pending : spec list;
+  mutable fired : spec list;  (* reverse firing order *)
+}
+
+let create ?(seed = 0) specs =
+  { rng = Random.State.make [| seed |]; pending = specs; fired = [] }
+
+let take n gates =
+  List.filteri (fun i _ -> i < n) gates
+
+let apply h spec c =
+  let n = Circuit.n_qubits c in
+  match spec.fault with
+  | Raise -> raise (Injected (Diagnostic.stage_to_string spec.stage))
+  | Nan_angle -> Circuit.append c (Gate.Rz (Float.nan, Random.State.int h.rng n))
+  | Out_of_range_wire ->
+    (* Circuit.make rejects the wire; the compiler's stage guard must
+       turn that Invalid_argument into an [Invalid_gate] diagnostic. *)
+    Circuit.make ~n (Circuit.gates c @ [ Gate.X n ])
+  | Truncate ->
+    let gates = Circuit.gates c in
+    let len = List.length gates in
+    if len = 0 then c else Circuit.make ~n (take (Random.State.int h.rng len) gates)
+
+let hook h stage c =
+  let mine, rest =
+    List.partition (fun s -> s.stage = stage) h.pending
+  in
+  h.pending <- rest;
+  List.fold_left
+    (fun c spec ->
+      h.fired <- spec :: h.fired;
+      apply h spec c)
+    c mine
+
+let fired h = List.rev h.fired

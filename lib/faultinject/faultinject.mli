@@ -1,0 +1,66 @@
+(** Seeded, deterministic fault injection for the compiler pipeline.
+
+    Robustness is only testable if failures can be manufactured on
+    demand: this module builds {!Compiler.options.inject} hooks that
+    corrupt the circuit stream (or blow up outright) at chosen stage
+    handoffs, so tests can assert that every failure mode surfaces as a
+    structured {!Diagnostic.t} — never an uncaught exception — and that
+    what {e should} be caught downstream (a truncated stream breaking
+    verification) actually is.
+
+    All randomness comes from a [Random.State] seeded at {!create}:
+    the same seed, spec list, and input replay the exact same faults. *)
+
+(** Raised by {!Raise} faults, standing in for an arbitrary mid-stage
+    crash.  The payload names the stage. *)
+exception Injected of string
+
+(** How to corrupt a stage's output. *)
+type fault =
+  | Raise  (** raise {!Injected} — a mid-stage exception; the compiler
+               must convert it into an [Internal] diagnostic *)
+  | Nan_angle
+      (** append an [Rz (nan)] on a random wire — a corrupt gate
+          stream the non-finite-angle handoff scan must catch
+          ([Invalid_gate]) before it poisons the QMDD value table *)
+  | Out_of_range_wire
+      (** rebuild the circuit with a gate targeting wire [n] of an
+          [n]-qubit register — [Circuit.make] rejects it and the
+          compiler must report [Invalid_gate] *)
+  | Truncate
+      (** drop a random suffix of the gate list — a {e silent}
+          corruption that changes the unitary without tripping any
+          structural check; verification must answer [Mismatch] *)
+
+val all_faults : fault list
+val fault_to_string : fault -> string
+val fault_of_string : string -> fault option
+
+(** One planned injection: corrupt [stage]'s output with [fault]. *)
+type spec = { stage : Diagnostic.stage; fault : fault }
+
+val spec_to_string : spec -> string
+
+(** The stages the compiler passes to inject hooks — every
+    circuit-producing stage, pipeline order.  [Driver] and [Verify]
+    produce no circuit and are excluded. *)
+val stages : Diagnostic.stage list
+
+(** [matrix] is the full test matrix: every injectable stage crossed
+    with every fault. *)
+val matrix : spec list
+
+type t
+
+(** [create ?seed specs] is a harness that fires each spec the first
+    time its stage hands off a circuit.  [seed] (default 0) drives
+    every random choice. *)
+val create : ?seed:int -> spec list -> t
+
+(** [hook h] is the function to install as {!Compiler.options.inject}. *)
+val hook : t -> Diagnostic.stage -> Circuit.t -> Circuit.t
+
+(** [fired h] lists the specs that actually fired so far, in firing
+    order — a spec whose stage never ran (e.g. [Place] without
+    placement enabled) never fires, and tests can tell. *)
+val fired : t -> spec list

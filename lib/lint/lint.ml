@@ -2,6 +2,7 @@ module Rule = struct
   type t =
     | Inverse_pair
     | Zero_angle
+    | Non_finite_angle
     | Overlapping_qubits
     | Unused_qubit
     | Width_mismatch
@@ -13,14 +14,15 @@ module Rule = struct
 
   let all =
     [
-      Inverse_pair; Zero_angle; Overlapping_qubits; Unused_qubit;
-      Width_mismatch; Non_native_gate; Cnot_direction; Cnot_uncoupled;
-      Width_exceeds_device; Volume_increase;
+      Inverse_pair; Zero_angle; Non_finite_angle; Overlapping_qubits;
+      Unused_qubit; Width_mismatch; Non_native_gate; Cnot_direction;
+      Cnot_uncoupled; Width_exceeds_device; Volume_increase;
     ]
 
   let code = function
     | Inverse_pair -> "inverse-pair"
     | Zero_angle -> "zero-angle"
+    | Non_finite_angle -> "non-finite-angle"
     | Overlapping_qubits -> "overlapping-qubits"
     | Unused_qubit -> "unused-qubit"
     | Width_mismatch -> "width-mismatch"
@@ -35,6 +37,8 @@ module Rule = struct
   let describe = function
     | Inverse_pair -> "adjacent gate and inverse cancel to the identity"
     | Zero_angle -> "rotation with a zero canonical angle is the identity"
+    | Non_finite_angle ->
+      "rotation angle is NaN or infinite (no defined unitary)"
     | Overlapping_qubits -> "control and target of a gate name the same wire"
     | Unused_qubit -> "register wire no gate touches"
     | Width_mismatch -> "declared register wider than the highest wire used"
@@ -113,6 +117,10 @@ let check ?rules c =
           (Printf.sprintf "%s lists the same wire more than once"
              (Gate.to_string g));
       (match rotation_angle g with
+      | Some (theta, _) when not (Float.is_finite theta) ->
+        if on Rule.Non_finite_angle then
+          add Error (Some i) Rule.Non_finite_angle
+            (Printf.sprintf "%s has a non-finite angle" (Gate.to_string g))
       | Some (theta, _)
         when on Rule.Zero_angle && Gate.canonical_angle theta = 0.0 ->
         add Warning (Some i) Rule.Zero_angle

@@ -30,6 +30,9 @@ module Rule : sig
             and dagger pairs like [T q0; Tdg q0]) *)
     | Zero_angle  (** a rotation or phase gate whose canonical angle
                       is exactly 0 — the identity in disguise *)
+    | Non_finite_angle
+        (** a rotation or phase gate whose angle is NaN or infinite —
+            no defined unitary; always [Error]-severity *)
     | Overlapping_qubits
         (** a multi-qubit gate whose control and target (or two
             operands) name the same wire, e.g.

@@ -226,24 +226,55 @@ let remove_identity_windows ?(max_window = 6) c =
   in
   Circuit.make ~n:(Circuit.n_qubits c) (go (Circuit.gates c))
 
-let optimize ?device ?(cost = Cost.eqn2) ?(trace = Trace.disabled)
-    ?(stage = "optimize") c =
+type outcome = {
+  circuit : Circuit.t;
+  iterations : int;
+  hit_iteration_cap : bool;
+  hit_deadline : bool;
+}
+
+let optimize_budgeted ?device ?(cost = Cost.eqn2) ?(trace = Trace.disabled)
+    ?(stage = "optimize") ?max_iterations ?deadline_ns c =
   let pass circuit =
     circuit |> cancel_pass |> rewrite_pass ?device |> remove_identity_windows
   in
+  let past_deadline () =
+    match deadline_ns with
+    | None -> false
+    | Some d -> Int64.compare (Trace.now_ns ()) d > 0
+  in
+  let capped i =
+    match max_iterations with None -> false | Some cap -> i > cap
+  in
   (* One span per fixpoint iteration, the rejected final sweep included:
-     its wall time is paid whether or not the result is kept. *)
+     its wall time is paid whether or not the result is kept.  Budgets
+     are checked before starting a sweep, so a capped run returns the
+     best circuit found so far rather than aborting. *)
   let rec loop i best best_cost =
-    let sp =
-      Trace.start_with trace (Printf.sprintf "%s/iteration-%d" stage i) ~cost
-        best
-    in
-    let candidate = pass best in
-    let candidate_cost = Cost.evaluate cost candidate in
-    let improved = candidate_cost < best_cost in
-    Trace.stop_with trace sp ~cost
-      ~counters:[ ("improved", if improved then 1.0 else 0.0) ]
-      candidate;
-    if improved then loop (i + 1) candidate candidate_cost else best
+    if capped i then
+      { circuit = best; iterations = i - 1;
+        hit_iteration_cap = true; hit_deadline = false }
+    else if past_deadline () then
+      { circuit = best; iterations = i - 1;
+        hit_iteration_cap = false; hit_deadline = true }
+    else begin
+      let sp =
+        Trace.start_with trace (Printf.sprintf "%s/iteration-%d" stage i) ~cost
+          best
+      in
+      let candidate = pass best in
+      let candidate_cost = Cost.evaluate cost candidate in
+      let improved = candidate_cost < best_cost in
+      Trace.stop_with trace sp ~cost
+        ~counters:[ ("improved", if improved then 1.0 else 0.0) ]
+        candidate;
+      if improved then loop (i + 1) candidate candidate_cost
+      else
+        { circuit = best; iterations = i;
+          hit_iteration_cap = false; hit_deadline = false }
+    end
   in
   loop 1 c (Cost.evaluate cost c)
+
+let optimize ?device ?cost ?trace ?stage c =
+  (optimize_budgeted ?device ?cost ?trace ?stage c).circuit

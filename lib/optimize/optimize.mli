@@ -44,15 +44,42 @@ val rewrite_pass : ?device:Device.t -> Circuit.t -> Circuit.t
     qubits) whose product is exactly the identity. *)
 val remove_identity_windows : ?max_window:int -> Circuit.t -> Circuit.t
 
-(** [optimize ?device ?cost ?trace ?stage c] runs all passes to a fixed
-    point of the cost function (default {!Cost.eqn2}) and returns the
-    cheapest circuit seen.  Guaranteed not to cost more than the input.
+(** What a budgeted optimization run produced and why it stopped. *)
+type outcome = {
+  circuit : Circuit.t;  (** the cheapest circuit seen *)
+  iterations : int;  (** completed fixpoint sweeps *)
+  hit_iteration_cap : bool;
+      (** stopped by [max_iterations] before reaching a fixed point *)
+  hit_deadline : bool;  (** stopped by [deadline_ns] *)
+}
+
+(** [optimize_budgeted ?device ?cost ?trace ?stage ?max_iterations
+    ?deadline_ns c] runs all passes toward a fixed point of the cost
+    function (default {!Cost.eqn2}), stopping early — with the best
+    circuit found so far, never an exception — when the sweep count
+    would exceed [max_iterations] or the monotonic clock passes
+    [deadline_ns] (a {!Trace.now_ns} instant).  Budgets are checked
+    between sweeps, so a single sweep is the granularity of the
+    deadline.  The result never costs more than the input.
 
     When [trace] is a recording sink, every fixpoint iteration records
     one span named ["<stage>/iteration-<i>"] (default stage
     ["optimize"]) with before/after snapshots under [cost] and an
     [improved] counter — the final, rejected sweep included, since its
     time is spent either way. *)
+val optimize_budgeted :
+  ?device:Device.t ->
+  ?cost:Cost.t ->
+  ?trace:Trace.t ->
+  ?stage:string ->
+  ?max_iterations:int ->
+  ?deadline_ns:int64 ->
+  Circuit.t ->
+  outcome
+
+(** [optimize ?device ?cost ?trace ?stage c] is
+    [(optimize_budgeted ... c).circuit] with no budgets: runs to the
+    fixed point. *)
 val optimize :
   ?device:Device.t ->
   ?cost:Cost.t ->

@@ -79,7 +79,14 @@ let of_string source =
       | _ -> fail line_no "malformed line")
     lines;
   if !n_inputs = 0 || !n_outputs = 0 then
-    raise (Parse_error { line = 0; message = "missing .i or .o" });
+    (* Point at the last line: the whole file failed to declare the
+       sizes, there is no offending "line 0". *)
+    raise
+      (Parse_error
+         {
+           line = max 1 (List.length lines);
+           message = "missing .i or .o declaration (end of input)";
+         });
   {
     n_inputs = !n_inputs;
     n_outputs = !n_outputs;

@@ -13,6 +13,9 @@
     Each cube row has one character per input ([0], [1], or [-]) and one
     per output ([0], [1], or [~]/[-], treated as 0). *)
 
+(** [line] is 1-based.  Failures only detectable once the whole input
+    has been read (a missing mandatory declaration) are reported on the
+    last line of the input, never "line 0". *)
 exception Parse_error of { line : int; message : string }
 
 type literal = Zero | One | Dash

@@ -329,11 +329,18 @@ let of_string source =
         | other -> fail line_no (Printf.sprintf "unsupported statement %S" other))
     lines;
   let gates = List.rev !gates in
+  (* End-of-parse failures point at the last line of the input: the
+     offence is something the whole file failed to declare, not a
+     fictitious "line 0". *)
+  let end_line = max 1 (List.length lines) in
   if !next_base = 0 then
-    raise (Parse_error { line = 0; message = "no qreg declaration" });
+    raise
+      (Parse_error
+         { line = end_line; message = "no qreg declaration (end of input)" });
   match Circuit.make ~n:!next_base gates with
   | c -> c
-  | exception Invalid_argument msg -> raise (Parse_error { line = 0; message = msg })
+  | exception Invalid_argument msg ->
+    raise (Parse_error { line = end_line; message = msg })
 
 let write_file ?creg path c =
   let oc = open_out path in

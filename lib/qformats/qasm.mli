@@ -19,6 +19,9 @@
     Generalized Toffoli gates have no OpenQASM 2.0 primitive; printing a
     circuit containing one raises — lower it first. *)
 
+(** [line] is 1-based.  Failures only detectable once the whole input
+    has been read (a missing mandatory declaration) are reported on the
+    last line of the input, never "line 0". *)
 exception Parse_error of { line : int; message : string }
 
 (** [to_string ?creg c] renders the circuit as an OpenQASM 2.0 program

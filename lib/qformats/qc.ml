@@ -131,7 +131,13 @@ let of_string source =
           gates := gate_of ~line_no mnemonic operands :: !gates)
     lines;
   let n = List.length !names in
-  if n = 0 then raise (Parse_error { line = 0; message = "no .v declaration" });
+  (* End-of-parse failures point at the last line of the input rather
+     than a fictitious "line 0". *)
+  let end_line = max 1 (List.length lines) in
+  if n = 0 then
+    raise
+      (Parse_error
+         { line = end_line; message = "no .v declaration (end of input)" });
   match Circuit.make ~n (List.rev !gates) with
   | circuit ->
     {
@@ -141,7 +147,7 @@ let of_string source =
       names = Array.of_list !names;
     }
   | exception Invalid_argument msg ->
-    raise (Parse_error { line = 0; message = msg })
+    raise (Parse_error { line = end_line; message = msg })
 
 let gate_to_qc g =
   let q i = Printf.sprintf "q%d" i in

@@ -27,6 +27,9 @@
 
     Comments start with [#]. *)
 
+(** [line] is 1-based.  Failures only detectable once the whole input
+    has been read (a missing mandatory declaration) are reported on the
+    last line of the input, never "line 0". *)
 exception Parse_error of { line : int; message : string }
 
 type t = {

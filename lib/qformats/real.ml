@@ -107,13 +107,24 @@ let of_string source =
         end)
     lines;
   let n = List.length !names in
+  (* End-of-parse failures point at the last line of the input rather
+     than a fictitious "line 0". *)
+  let end_line = max 1 (List.length lines) in
   if n = 0 then
-    raise (Parse_error { line = 0; message = "no .variables declaration" });
+    raise
+      (Parse_error
+         {
+           line = end_line;
+           message = "no .variables declaration (end of input)";
+         });
   (match !declared_numvars with
   | Some v when v <> n ->
     raise
       (Parse_error
-         { line = 0; message = ".numvars disagrees with .variables count" })
+         {
+           line = end_line;
+           message = ".numvars disagrees with .variables count";
+         })
   | Some _ | None -> ());
   match Circuit.make ~n (List.rev !gates) with
   | circuit ->
@@ -124,7 +135,7 @@ let of_string source =
       garbage = !garbage;
     }
   | exception Invalid_argument msg ->
-    raise (Parse_error { line = 0; message = msg })
+    raise (Parse_error { line = end_line; message = msg })
 
 let gate_to_real names g =
   let name i = names.(i) in

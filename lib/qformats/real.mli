@@ -23,6 +23,9 @@
     into the equivalent CNOT / generalized-Toffoli sandwich, since the
     compiler's gate set has no Fredkin primitive. *)
 
+(** [line] is 1-based.  Failures only detectable once the whole input
+    has been read (a missing mandatory declaration) are reported on the
+    last line of the input, never "line 0". *)
 exception Parse_error of { line : int; message : string }
 
 type t = {

@@ -291,6 +291,15 @@ let rec gate m g =
     invalid_arg
       (Printf.sprintf "Qmdd.gate: %s outside %d-qubit register"
          (Gate.to_string g) m.n);
+  (* A NaN or infinite angle would poison the value table (tolerance
+     comparisons against NaN all fail, so canonicalization breaks
+     down): reject it at the door with a structured error instead. *)
+  (match g with
+  | Gate.Rx (a, _) | Gate.Ry (a, _) | Gate.Rz (a, _) | Gate.Phase (a, _) ->
+    if not (Float.is_finite a) then
+      invalid_arg
+        (Printf.sprintf "Qmdd.gate: non-finite angle in %s" (Gate.to_string g))
+  | _ -> ());
   match g with
   | Gate.X q | Gate.Y q | Gate.Z q | Gate.H q | Gate.S q | Gate.Sdg q
   | Gate.T q | Gate.Tdg q

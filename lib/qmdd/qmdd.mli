@@ -61,7 +61,9 @@ val zero : manager -> edge
 (** [gate m g] builds the diagram of gate [g] embedded in the manager's
     n-qubit register.  Linear in n for every gate in the set (SWAP is
     built as three CNOTs).
-    @raise Invalid_argument if the gate does not fit the register. *)
+    @raise Invalid_argument if the gate does not fit the register, or
+    if a rotation/phase gate carries a non-finite (NaN or infinite)
+    angle — such a weight would poison the canonical value table. *)
 val gate : manager -> Gate.t -> edge
 
 (** [multiply m a b] is the matrix product [a * b]. *)

@@ -8,6 +8,7 @@ type stats = {
   mutable swaps_inserted : int;
   mutable swap_hops : int;
   mutable max_path_hops : int;
+  mutable unrouted_cnots : int;
 }
 
 let new_stats () =
@@ -17,6 +18,7 @@ let new_stats () =
     swaps_inserted = 0;
     swap_hops = 0;
     max_path_hops = 0;
+    unrouted_cnots = 0;
   }
 
 let note stats f =
@@ -141,7 +143,13 @@ let oriented_cnot ?stats d ~control ~target =
       (Printf.sprintf "Route.oriented_cnot: q%d,q%d not coupled on %s" control
          target (Device.name d))
 
-let routed_cnot_gates ?path_finder ?stats d ~swap ~control ~target =
+(* [budget], when given, is the number of SWAP insertions still
+   allowed.  A reroute whose chain does not fit leaves the CNOT as
+   written — the unitary is preserved, the gate is merely not yet
+   device-legal — and counts it in [unrouted_cnots] so the caller can
+   mark the stage degraded.  Direction reversals cost no SWAPs and are
+   always performed. *)
+let routed_cnot_gates ?path_finder ?stats ?budget d ~swap ~control ~target =
   if Device.coupled d control target then oriented_cnot ?stats d ~control ~target
   else
     let find =
@@ -150,8 +158,21 @@ let routed_cnot_gates ?path_finder ?stats d ~swap ~control ~target =
       | None -> fun ~control ~target -> ctr_path d ~control ~target
     in
     let path = find ~control ~target in
+    let hops = List.length path - 1 in
+    let exhausted =
+      match budget with
+      | Some remaining when 2 * hops > !remaining -> true
+      | Some remaining ->
+        remaining := !remaining - (2 * hops);
+        false
+      | None -> false
+    in
+    if exhausted then begin
+      note stats (fun s -> s.unrouted_cnots <- s.unrouted_cnots + 1);
+      [ Gate.Cnot { control; target } ]
+    end
+    else begin
     note stats (fun s ->
-        let hops = List.length path - 1 in
         s.rerouted_cnots <- s.rerouted_cnots + 1;
         s.swap_hops <- s.swap_hops + hops;
         if hops > s.max_path_hops then s.max_path_hops <- hops;
@@ -169,6 +190,7 @@ let routed_cnot_gates ?path_finder ?stats d ~swap ~control ~target =
     let backward = swaps (List.rev path) in
     List.concat
       [ forward; oriented_cnot ?stats d ~control:landing ~target; backward ]
+    end
 
 let route_cnot d ~control ~target =
   let allows_pred ~control ~target = allows d ~control ~target in
@@ -203,15 +225,26 @@ let route_with ~route_cnot_gates d c =
 
 let route_circuit d c = route_with ~route_cnot_gates:route_cnot d c
 
-let route_circuit_swaps ?stats d c =
-  route_with ~route_cnot_gates:(route_cnot_swaps ?stats) d c
+let budget_ref = function
+  | None -> None
+  | Some b -> Some (ref (max b 0))
 
-let route_circuit_swaps_weighted ?stats d ~weight c =
+let route_circuit_swaps ?stats ?swap_budget d c =
+  let budget = budget_ref swap_budget in
+  let route_gate d ~control ~target =
+    routed_cnot_gates ?stats ?budget d
+      ~swap:(fun a b -> [ Gate.Swap (a, b) ])
+      ~control ~target
+  in
+  route_with ~route_cnot_gates:route_gate d c
+
+let route_circuit_swaps_weighted ?stats ?swap_budget d ~weight c =
+  let budget = budget_ref swap_budget in
   let path_finder ~control ~target =
     ctr_path_weighted d ~weight ~control ~target
   in
   let route_gate d ~control ~target =
-    routed_cnot_gates ~path_finder ?stats d
+    routed_cnot_gates ~path_finder ?stats ?budget d
       ~swap:(fun a b -> [ Gate.Swap (a, b) ])
       ~control ~target
   in
@@ -226,12 +259,13 @@ let expand_swaps d c =
       | g -> [ g ])
     c
 
-let route_circuit_tracking ?stats d c =
+let route_circuit_tracking ?stats ?swap_budget d c =
   if Circuit.n_qubits c > Device.n_qubits d then
     invalid_arg
       (Printf.sprintf
          "Route.route_circuit_tracking: circuit needs %d qubits but %s has %d"
          (Circuit.n_qubits c) (Device.name d) (Device.n_qubits d));
+  let budget = budget_ref swap_budget in
   let n = Device.n_qubits d in
   let phys_of_log = Array.init n (fun q -> q) in
   let log_of_phys = Array.init n (fun q -> q) in
@@ -257,12 +291,27 @@ let route_circuit_tracking ?stats d c =
       if Device.is_simulator d then emit g
       else begin
         let pc = phys_of_log.(control) and pt = phys_of_log.(target) in
-        let landing =
-          if Device.coupled d pc pt then pc
+        (* Budget accounting charges the forward hops only: the final
+           restore replays SWAPs already paid for. *)
+        if Device.coupled d pc pt then
+          List.iter emit (oriented_cnot ?stats d ~control:pc ~target:pt)
+        else begin
+          let path = ctr_path d ~control:pc ~target:pt in
+          let hops = List.length path - 1 in
+          let exhausted =
+            match budget with
+            | Some remaining when hops > !remaining -> true
+            | Some remaining ->
+              remaining := !remaining - hops;
+              false
+            | None -> false
+          in
+          if exhausted then begin
+            note stats (fun s -> s.unrouted_cnots <- s.unrouted_cnots + 1);
+            emit (Gate.Cnot { control = pc; target = pt })
+          end
           else begin
-            let path = ctr_path d ~control:pc ~target:pt in
             note stats (fun s ->
-                let hops = List.length path - 1 in
                 s.rerouted_cnots <- s.rerouted_cnots + 1;
                 s.swap_hops <- s.swap_hops + hops;
                 if hops > s.max_path_hops then s.max_path_hops <- hops);
@@ -273,10 +322,10 @@ let route_circuit_tracking ?stats d c =
               | [ last ] -> last
               | [] -> assert false
             in
-            walk path
+            let landing = walk path in
+            List.iter emit (oriented_cnot ?stats d ~control:landing ~target:pt)
           end
-        in
-        List.iter emit (oriented_cnot ?stats d ~control:landing ~target:pt)
+        end
       end
     | Gate.Cz _ | Gate.Swap _ | Gate.Toffoli _ | Gate.Mct _ ->
       invalid_arg

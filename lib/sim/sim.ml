@@ -22,8 +22,19 @@ let run c state =
   if Array.length state <> 1 lsl n then invalid_arg "Sim.run: state length mismatch";
   Circuit.fold (fun st g -> apply_gate ~n g st) state c
 
+(* 2^n columns of 2^n entries: past this width the matrix would not
+   fit in memory, so fail fast and structurally instead of OOM-killing
+   the process.  14 qubits = a 16384x16384 complex matrix (~4 GiB for
+   the two operands of [equivalent]) — already generous. *)
+let max_unitary_qubits = 14
+
 let unitary c =
   let n = Circuit.n_qubits c in
+  if n > max_unitary_qubits then
+    invalid_arg
+      (Printf.sprintf
+         "Sim.unitary: %d qubits exceeds the %d-qubit dense-matrix limit" n
+         max_unitary_qubits);
   let dim = 1 lsl n in
   let m = Matrix.create dim dim in
   for col = 0 to dim - 1 do

@@ -20,12 +20,21 @@ val apply_gate : n:int -> Gate.t -> Mathkit.Cx.t array -> Mathkit.Cx.t array
 (** [run c state] applies the whole circuit. *)
 val run : Circuit.t -> Mathkit.Cx.t array -> Mathkit.Cx.t array
 
-(** [unitary c] is the full 2^n transfer matrix of the circuit. *)
+(** The widest register {!unitary} (and so {!equivalent}) accepts —
+    beyond it the dense matrix would exhaust memory, so the call fails
+    fast with [Invalid_argument] instead of OOM-killing the process. *)
+val max_unitary_qubits : int
+
+(** [unitary c] is the full 2^n transfer matrix of the circuit.
+    @raise Invalid_argument when the register exceeds
+    {!max_unitary_qubits}. *)
 val unitary : Circuit.t -> Mathkit.Matrix.t
 
 (** [equivalent ?up_to_phase a b] compares the transfer matrices of two
     circuits of the same width.  [up_to_phase] defaults to [true] since
-    synthesis may change global phase. *)
+    synthesis may change global phase.
+    @raise Invalid_argument when the register exceeds
+    {!max_unitary_qubits}. *)
 val equivalent : ?up_to_phase:bool -> Circuit.t -> Circuit.t -> bool
 
 (** [classical_run c bits] threads a classical bit assignment through a

@@ -1,0 +1,3 @@
+OPENQASM 2.0;
+qreg q[1];
+rz(1e999) q[0];

@@ -1,0 +1,3 @@
+OPENQASM 2.0;
+qreg q[1];
+rz(nan) q[0];

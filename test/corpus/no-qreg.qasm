@@ -1,0 +1,3 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// never declares a quantum register

@@ -222,6 +222,8 @@ let test_pp_report_placement_truncation () =
       optimized_cost = 0.0;
       percent_decrease = 0.0;
       verification = Compiler.Skipped;
+      degraded = [];
+      diagnostics = [];
       elapsed_seconds = 0.0;
       verification_seconds = 0.0;
       trace = [];
@@ -445,6 +447,245 @@ let prop_compile_classical =
       let r = compile_to Device.Ibm.ibmqx2 (Compiler.Classical pla) in
       r.Compiler.verification = Compiler.Verified)
 
+(* --- compile_checked, budgets, fallback verification --- *)
+
+let swap_heavy =
+  (* Needs SWAP insertion on ibmqx4's coupling map. *)
+  Circuit.make ~n:5
+    [
+      Gate.H 0;
+      Gate.Cnot { control = 0; target = 4 };
+      Gate.Cnot { control = 4; target = 1 };
+      Gate.Cnot { control = 1; target = 3 };
+    ]
+
+let test_compile_checked_ok () =
+  let device = Device.Ibm.ibmqx4 in
+  match
+    Compiler.compile_checked
+      (Compiler.default_options ~device)
+      (Compiler.Quantum toffoli_cascade)
+  with
+  | Ok r ->
+    check_bool "verified" true (Compiler.verified r.Compiler.verification);
+    check_bool "no degradations" false (Compiler.degraded r);
+    check_bool "no diagnostics" true (r.Compiler.diagnostics = [])
+  | Error ds ->
+    Alcotest.failf "clean compile failed: %s"
+      (String.concat "; " (List.map Diagnostic.to_string ds))
+
+let test_compile_checked_capacity_error () =
+  match
+    Compiler.compile_checked
+      (Compiler.default_options ~device:Device.Ibm.ibmqx2)
+      (Compiler.Quantum (Circuit.empty 9))
+  with
+  | Ok _ -> Alcotest.fail "oversized circuit accepted"
+  | Error ds ->
+    check_bool "has errors" true (Diagnostic.has_errors ds);
+    check_bool "capacity at front-end" true
+      (List.exists
+         (fun d ->
+           d.Diagnostic.kind = Diagnostic.Capacity
+           && d.Diagnostic.stage = Diagnostic.Front_end)
+         ds)
+
+let test_compile_checked_nan_input () =
+  (* A NaN rotation in the *input* must be rejected at the front-end
+     handoff, not poison the QMDD value table. *)
+  let c = Circuit.make ~n:2 [ Gate.H 0; Gate.Rz (Float.nan, 1) ] in
+  match
+    Compiler.compile_checked
+      (Compiler.default_options ~device:Device.Ibm.ibmqx4)
+      (Compiler.Quantum c)
+  with
+  | Ok _ -> Alcotest.fail "NaN angle accepted"
+  | Error ds ->
+    check_bool "invalid-gate at front-end" true
+      (List.exists
+         (fun d ->
+           d.Diagnostic.kind = Diagnostic.Invalid_gate
+           && d.Diagnostic.stage = Diagnostic.Front_end)
+         ds)
+
+let test_iteration_budget_degrades () =
+  let device = Device.Ibm.ibmqx4 in
+  let opts =
+    { (Compiler.default_options ~device) with
+      Compiler.budgets =
+        { Compiler.no_budgets with
+          Compiler.max_optimize_iterations = Some 0
+        }
+    }
+  in
+  match Compiler.compile_checked opts (Compiler.Quantum toffoli_cascade) with
+  | Ok r ->
+    check_bool "degraded" true (Compiler.degraded r);
+    check_bool "pre-optimize marked" true
+      (List.mem_assoc Diagnostic.Pre_optimize r.Compiler.degraded);
+    check_bool "post-optimize marked" true
+      (List.mem_assoc Diagnostic.Post_optimize r.Compiler.degraded);
+    (* Degraded, not broken: the unoptimized circuit still verifies. *)
+    check_bool "still verified" true
+      (Compiler.verified r.Compiler.verification);
+    check_bool "degradations are warning diagnostics" true
+      (List.for_all
+         (fun d ->
+           d.Diagnostic.severity = Diagnostic.Warning
+           && d.Diagnostic.kind = Diagnostic.Budget_exhausted)
+         r.Compiler.diagnostics
+      && r.Compiler.diagnostics <> [])
+  | Error ds ->
+    Alcotest.failf "budgeted compile failed: %s"
+      (String.concat "; " (List.map Diagnostic.to_string ds))
+
+let test_swap_budget_degrades () =
+  let device = Device.Ibm.ibmqx4 in
+  let opts =
+    { (Compiler.default_options ~device) with
+      Compiler.budgets =
+        { Compiler.no_budgets with Compiler.swap_budget = Some 0 }
+    }
+  in
+  match Compiler.compile_checked opts (Compiler.Quantum swap_heavy) with
+  | Ok r ->
+    check_bool "route marked degraded" true
+      (List.mem_assoc Diagnostic.Route r.Compiler.degraded);
+    (* Unrouted CNOTs are left as written: illegal on the device but
+       unitary-preserving, so verification still succeeds. *)
+    check_bool "unitary preserved" true
+      (Compiler.verified r.Compiler.verification);
+    check_bool "not device-legal" false
+      (Route.legal_on device r.Compiler.optimized)
+  | Error ds ->
+    Alcotest.failf "swap-budgeted compile failed: %s"
+      (String.concat "; " (List.map Diagnostic.to_string ds))
+
+let test_deadline_degrades_not_aborts () =
+  let device = Device.Ibm.ibmqx4 in
+  let opts =
+    { (Compiler.default_options ~device) with
+      Compiler.verification =
+        Compiler.Fallback { node_budget = None; max_sim_qubits = 10 };
+      Compiler.budgets =
+        { Compiler.no_budgets with
+          Compiler.deadline_seconds = Some 0.0
+        }
+    }
+  in
+  match Compiler.compile_checked opts (Compiler.Quantum swap_heavy) with
+  | Ok r ->
+    check_bool "degraded" true (Compiler.degraded r);
+    (match r.Compiler.verification with
+    | Compiler.Unverified _ -> ()
+    | v ->
+      Alcotest.failf "expected Unverified, got %s"
+        (Compiler.verification_to_string v))
+  | Error ds ->
+    Alcotest.failf "deadline compile aborted: %s"
+      (String.concat "; " (List.map Diagnostic.to_string ds))
+
+let test_fallback_chain_reaches_sim_oracle () =
+  let device = Device.Ibm.ibmqx4 in
+  let opts =
+    { (Compiler.default_options ~device) with
+      Compiler.verification =
+        (* A 1-node QMDD budget cannot verify anything: the chain must
+           fall through to the dense-matrix oracle. *)
+        Compiler.Fallback { node_budget = Some 1; max_sim_qubits = 10 }
+    }
+  in
+  match Compiler.compile_checked opts (Compiler.Quantum swap_heavy) with
+  | Ok r ->
+    check_bool "sim oracle verified" true
+      (r.Compiler.verification = Compiler.Verified_sim)
+  | Error ds ->
+    Alcotest.failf "fallback compile failed: %s"
+      (String.concat "; " (List.map Diagnostic.to_string ds))
+
+let test_fallback_unverified_when_too_wide () =
+  let device = Device.Ibm.ibmqx4 in
+  let opts =
+    { (Compiler.default_options ~device) with
+      Compiler.verification =
+        (* Oracle clamped below the register width: nothing in the
+           chain can answer, and the report must say why. *)
+        Compiler.Fallback { node_budget = Some 1; max_sim_qubits = 2 }
+    }
+  in
+  match Compiler.compile_checked opts (Compiler.Quantum swap_heavy) with
+  | Ok r -> (
+    match r.Compiler.verification with
+    | Compiler.Unverified reason ->
+      check_bool "reason is non-empty" true (String.length reason > 0)
+    | v ->
+      Alcotest.failf "expected Unverified, got %s"
+        (Compiler.verification_to_string v))
+  | Error ds ->
+    Alcotest.failf "fallback compile failed: %s"
+      (String.concat "; " (List.map Diagnostic.to_string ds))
+
+let test_qmdd_budget_reports_budget_exceeded () =
+  let device = Device.Ibm.ibmqx4 in
+  let opts =
+    { (Compiler.default_options ~device) with
+      Compiler.verification = Compiler.Qmdd_check { node_budget = Some 1 }
+    }
+  in
+  match Compiler.compile_checked opts (Compiler.Quantum swap_heavy) with
+  | Ok r ->
+    check_bool "budget exceeded" true
+      (r.Compiler.verification = Compiler.Budget_exceeded);
+    check_bool "verify marked degraded" true
+      (List.mem_assoc Diagnostic.Verify r.Compiler.degraded)
+  | Error ds ->
+    Alcotest.failf "budgeted verification failed the compile: %s"
+      (String.concat "; " (List.map Diagnostic.to_string ds))
+
+let test_compile_raising_wrapper_matches_checked () =
+  (* The raising wrapper renders the first error diagnostic. *)
+  match
+    Compiler.compile
+      (Compiler.default_options ~device:Device.Ibm.ibmqx2)
+      (Compiler.Quantum (Circuit.empty 9))
+  with
+  | exception Compiler.Compile_error msg ->
+    check_bool "message names the stage" true
+      (let re = "[front-end]" in
+       let n = String.length msg and k = String.length re in
+       let rec scan i = i + k <= n && (String.sub msg i k = re || scan (i + 1)) in
+       scan 0)
+  | _ -> Alcotest.fail "expected Compile_error"
+
+let test_report_json_carries_robustness_fields () =
+  let device = Device.Ibm.ibmqx4 in
+  let opts =
+    { (Compiler.default_options ~device) with
+      Compiler.budgets =
+        { Compiler.no_budgets with
+          Compiler.max_optimize_iterations = Some 0
+        }
+    }
+  in
+  match Compiler.compile_checked opts (Compiler.Quantum toffoli_cascade) with
+  | Error _ -> Alcotest.fail "compile failed"
+  | Ok r -> (
+    match Compiler.report_to_json r with
+    | Trace.Json.Obj members ->
+      let degraded_entries =
+        match List.assoc_opt "degraded" members with
+        | Some (Trace.Json.List l) -> l
+        | _ -> Alcotest.fail "no degraded list in report json"
+      in
+      check_bool "degraded entries serialized" true
+        (List.length degraded_entries = List.length r.Compiler.degraded);
+      (match List.assoc_opt "diagnostics" members with
+      | Some (Trace.Json.List ds) ->
+        check_bool "diagnostics parse back" true
+          (List.for_all (fun j -> Diagnostic.of_json j <> None) ds)
+      | _ -> Alcotest.fail "no diagnostics list in report json")
+    | _ -> Alcotest.fail "report json is not an object")
+
 let () =
   Alcotest.run "compiler"
     [
@@ -484,6 +725,31 @@ let () =
           Alcotest.test_case "spans cover the pipeline" `Quick
             test_trace_spans_cover_pipeline;
           Alcotest.test_case "report to json" `Quick test_report_to_json;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "compile_checked ok" `Quick
+            test_compile_checked_ok;
+          Alcotest.test_case "capacity error" `Quick
+            test_compile_checked_capacity_error;
+          Alcotest.test_case "nan input rejected" `Quick
+            test_compile_checked_nan_input;
+          Alcotest.test_case "iteration budget degrades" `Quick
+            test_iteration_budget_degrades;
+          Alcotest.test_case "swap budget degrades" `Quick
+            test_swap_budget_degrades;
+          Alcotest.test_case "deadline degrades, not aborts" `Quick
+            test_deadline_degrades_not_aborts;
+          Alcotest.test_case "fallback reaches sim oracle" `Quick
+            test_fallback_chain_reaches_sim_oracle;
+          Alcotest.test_case "fallback unverified when too wide" `Quick
+            test_fallback_unverified_when_too_wide;
+          Alcotest.test_case "qmdd budget exceeded" `Quick
+            test_qmdd_budget_reports_budget_exceeded;
+          Alcotest.test_case "raising wrapper renders diagnostic" `Quick
+            test_compile_raising_wrapper_matches_checked;
+          Alcotest.test_case "report json robustness fields" `Quick
+            test_report_json_carries_robustness_fields;
         ] );
       ( "properties",
         [

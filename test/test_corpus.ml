@@ -1,0 +1,153 @@
+(* Every file under corpus/ is malformed on purpose.  The contract:
+   [Compiler.parse_file_checked] answers a structured [Error] — right
+   kind, real 1-based line for parse errors — and never lets an
+   exception out. *)
+
+let check_bool = Alcotest.(check bool)
+
+let corpus_dir = "corpus"
+
+let corpus_files () =
+  let files = Sys.readdir corpus_dir in
+  Array.sort compare files;
+  Array.to_list files |> List.map (Filename.concat corpus_dir)
+
+let test_corpus_is_populated () =
+  let files = corpus_files () in
+  check_bool "at least a dozen malformed inputs" true
+    (List.length files >= 12);
+  List.iter
+    (fun ext ->
+      check_bool
+        (Printf.sprintf "corpus covers %s" ext)
+        true
+        (List.exists (fun f -> Filename.check_suffix f ext) files))
+    [ ".qasm"; ".qc"; ".real"; ".pla" ]
+
+(* [inf-angle.qasm] is the one corpus file that *parses*: "1e999"
+   overflows to infinity, a defect only the compiler's non-finite-angle
+   handoff scan can see.  Everything else must already fail to parse. *)
+let compile_level = [ "inf-angle.qasm" ]
+
+let test_every_file_reports_structured_error () =
+  List.iter
+    (fun path ->
+      if List.mem (Filename.basename path) compile_level then ()
+      else
+      match Compiler.parse_file_checked path with
+      | Ok _ -> Alcotest.failf "%s: malformed input parsed successfully" path
+      | Error d ->
+        check_bool
+          (Printf.sprintf "%s: error severity" path)
+          true
+          (d.Diagnostic.severity = Diagnostic.Error);
+        check_bool
+          (Printf.sprintf "%s: parse kind" path)
+          true
+          (d.Diagnostic.kind = Diagnostic.Parse);
+        check_bool
+          (Printf.sprintf "%s: carries the file" path)
+          true
+          (d.Diagnostic.file = Some path);
+        (match d.Diagnostic.line with
+        | Some l ->
+          check_bool (Printf.sprintf "%s: 1-based line" path) true (l >= 1)
+        | None ->
+          Alcotest.failf "%s: parse diagnostic without a line" path);
+        check_bool
+          (Printf.sprintf "%s: non-empty message" path)
+          true
+          (String.length d.Diagnostic.message > 0)
+      | exception e ->
+        Alcotest.failf "%s: parse_file_checked raised %s" path
+          (Printexc.to_string e))
+    (corpus_files ())
+
+let test_end_of_input_errors_use_last_line () =
+  (* Missing-declaration failures are only detectable once the whole
+     file has been read; they must point at the last line, never a
+     fictitious line 0. *)
+  List.iter
+    (fun name ->
+      let path = Filename.concat corpus_dir name in
+      match Compiler.parse_file_checked path with
+      | Error { Diagnostic.line = Some l; _ } ->
+        let n_lines =
+          In_channel.with_open_text path In_channel.input_all
+          |> String.split_on_char '\n' |> List.length
+        in
+        check_bool
+          (Printf.sprintf "%s: last line (%d of %d)" name l n_lines)
+          true
+          (l = n_lines)
+      | Error { Diagnostic.line = None; _ } ->
+        Alcotest.failf "%s: no line on end-of-input error" name
+      | Ok _ -> Alcotest.failf "%s: parsed successfully" name
+      | exception e ->
+        Alcotest.failf "%s: raised %s" name (Printexc.to_string e))
+    [ "no-qreg.qasm"; "no-v.qc"; "no-variables.real"; "missing-io.pla" ]
+
+let test_compile_level_corpus_rejected () =
+  List.iter
+    (fun name ->
+      let path = Filename.concat corpus_dir name in
+      match Compiler.parse_file_checked path with
+      | Error d ->
+        Alcotest.failf "%s: expected to parse, got %s" name
+          (Diagnostic.to_string d)
+      | Ok input -> (
+        let options =
+          Compiler.default_options ~device:Device.Ibm.ibmqx4
+        in
+        match Compiler.compile_checked options input with
+        | Ok _ -> Alcotest.failf "%s: non-finite angle compiled" name
+        | Error ds ->
+          check_bool
+            (Printf.sprintf "%s: invalid-gate at front-end" name)
+            true
+            (List.exists
+               (fun d ->
+                 d.Diagnostic.kind = Diagnostic.Invalid_gate
+                 && d.Diagnostic.stage = Diagnostic.Front_end)
+               ds)
+        | exception e ->
+          Alcotest.failf "%s: compile_checked raised %s" name
+            (Printexc.to_string e)))
+    compile_level
+
+let test_missing_file_is_io_error () =
+  match Compiler.parse_file_checked "corpus/does-not-exist.qasm" with
+  | Error d ->
+    check_bool "io kind" true (d.Diagnostic.kind = Diagnostic.Io);
+    check_bool "driver stage" true (d.Diagnostic.stage = Diagnostic.Driver)
+  | Ok _ -> Alcotest.fail "nonexistent file parsed"
+  | exception e -> Alcotest.failf "raised %s" (Printexc.to_string e)
+
+let test_unknown_extension_is_unsupported () =
+  match Compiler.parse_file_checked "corpus/whatever.xyzzy" with
+  | Error d ->
+    check_bool "unsupported kind" true
+      (d.Diagnostic.kind = Diagnostic.Unsupported);
+    check_bool "driver stage" true (d.Diagnostic.stage = Diagnostic.Driver)
+  | Ok _ -> Alcotest.fail "unknown extension accepted"
+  | exception e -> Alcotest.failf "raised %s" (Printexc.to_string e)
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "malformed inputs",
+        [
+          Alcotest.test_case "corpus is populated" `Quick
+            test_corpus_is_populated;
+          Alcotest.test_case "structured errors, no crashes" `Quick
+            test_every_file_reports_structured_error;
+          Alcotest.test_case "end-of-input errors use last line" `Quick
+            test_end_of_input_errors_use_last_line;
+          Alcotest.test_case "compile-level corpus rejected" `Quick
+            test_compile_level_corpus_rejected;
+          Alcotest.test_case "missing file is io error" `Quick
+            test_missing_file_is_io_error;
+          Alcotest.test_case "unknown extension is unsupported" `Quick
+            test_unknown_extension_is_unsupported;
+        ] );
+    ]

@@ -1,0 +1,121 @@
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let all_stages =
+  [
+    Diagnostic.Driver;
+    Diagnostic.Front_end;
+    Diagnostic.Pre_optimize;
+    Diagnostic.Decompose;
+    Diagnostic.Place;
+    Diagnostic.Route;
+    Diagnostic.Expand_swaps;
+    Diagnostic.Post_optimize;
+    Diagnostic.Verify;
+  ]
+
+let all_kinds =
+  [
+    Diagnostic.Parse;
+    Diagnostic.Io;
+    Diagnostic.Unsupported;
+    Diagnostic.Capacity;
+    Diagnostic.Unroutable;
+    Diagnostic.Budget_exhausted;
+    Diagnostic.Invalid_gate;
+    Diagnostic.Contract_violation;
+    Diagnostic.Verification_failed;
+    Diagnostic.Internal;
+  ]
+
+let test_stage_names_round_trip () =
+  List.iter
+    (fun s ->
+      let name = Diagnostic.stage_to_string s in
+      check_bool
+        (Printf.sprintf "stage %S round-trips" name)
+        true
+        (Diagnostic.stage_of_string name = Some s))
+    all_stages;
+  check_bool "unknown stage name" true
+    (Diagnostic.stage_of_string "warp-core" = None)
+
+let test_to_string_with_location () =
+  let d =
+    Diagnostic.error ~file:"adder.qasm" ~line:7 ~stage:Diagnostic.Front_end
+      ~kind:Diagnostic.Parse "bad operand"
+  in
+  check_string "rendered" "adder.qasm:7: [front-end] parse: bad operand"
+    (Diagnostic.to_string d)
+
+let test_to_string_without_location () =
+  let d =
+    Diagnostic.error ~stage:Diagnostic.Route ~kind:Diagnostic.Unroutable
+      "no path"
+  in
+  check_string "rendered" "[route] unroutable: no path"
+    (Diagnostic.to_string d)
+
+let test_json_round_trip () =
+  List.iter
+    (fun stage ->
+      List.iter
+        (fun kind ->
+          List.iter
+            (fun (make, file, line) ->
+              let d = make ?file ?line ~stage ~kind "m e s s a g e" in
+              match Diagnostic.of_json (Diagnostic.to_json d) with
+              | Some d' ->
+                check_bool "round trip" true (d = d')
+              | None -> Alcotest.fail "of_json rejected to_json output")
+            [
+              (Diagnostic.error, Some "f.qasm", Some 3);
+              (Diagnostic.warning, None, None);
+            ])
+        all_kinds)
+    all_stages
+
+let test_of_json_rejects_garbage () =
+  check_bool "not an object" true
+    (Diagnostic.of_json (Trace.Json.String "hi") = None);
+  check_bool "bad stage" true
+    (Diagnostic.of_json
+       (Trace.Json.Obj
+          [
+            ("stage", Trace.Json.String "warp-core");
+            ("kind", Trace.Json.String "parse");
+            ("severity", Trace.Json.String "error");
+            ("message", Trace.Json.String "m");
+          ])
+    = None)
+
+let test_has_errors () =
+  let w =
+    Diagnostic.warning ~stage:Diagnostic.Route
+      ~kind:Diagnostic.Budget_exhausted "swap budget"
+  in
+  let e =
+    Diagnostic.error ~stage:Diagnostic.Verify
+      ~kind:Diagnostic.Verification_failed "mismatch"
+  in
+  check_bool "no errors" false (Diagnostic.has_errors [ w; w ]);
+  check_bool "one error" true (Diagnostic.has_errors [ w; e ]);
+  check_bool "empty" false (Diagnostic.has_errors [])
+
+let () =
+  Alcotest.run "diagnostic"
+    [
+      ( "diagnostic",
+        [
+          Alcotest.test_case "stage names round-trip" `Quick
+            test_stage_names_round_trip;
+          Alcotest.test_case "to_string with location" `Quick
+            test_to_string_with_location;
+          Alcotest.test_case "to_string without location" `Quick
+            test_to_string_without_location;
+          Alcotest.test_case "json round-trip" `Quick test_json_round_trip;
+          Alcotest.test_case "of_json rejects garbage" `Quick
+            test_of_json_rejects_garbage;
+          Alcotest.test_case "has_errors" `Quick test_has_errors;
+        ] );
+    ]

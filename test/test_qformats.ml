@@ -430,6 +430,85 @@ let prop_real_roundtrip =
       Testutil.equal_canonical c
         (Qformats.Real.of_string printed).Qformats.Real.circuit)
 
+(* --- end-of-input error locations --- *)
+
+(* Failures only detectable once the whole input has been read (a
+   missing mandatory declaration) must point at the last line of the
+   input, never a fictitious "line 0". *)
+
+let expect_last_line name parse src =
+  let n_lines = List.length (String.split_on_char '\n' src) in
+  match parse src with
+  | Ok line ->
+    check_bool
+      (Printf.sprintf "%s: line %d of %d" name line n_lines)
+      true
+      (line = n_lines && line >= 1)
+  | Error () -> Alcotest.failf "%s: parsed successfully" name
+
+let test_end_of_input_lines () =
+  expect_last_line "qasm no qreg"
+    (fun src ->
+      match Qformats.Qasm.of_string src with
+      | _ -> Error ()
+      | exception Qformats.Qasm.Parse_error { line; _ } -> Ok line)
+    "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n// no register\n";
+  expect_last_line "qc no .v"
+    (fun src ->
+      match Qformats.Qc.of_string src with
+      | _ -> Error ()
+      | exception Qformats.Qc.Parse_error { line; _ } -> Ok line)
+    "# wires forgotten\nBEGIN\nEND\n";
+  expect_last_line "real no .variables"
+    (fun src ->
+      match Qformats.Real.of_string src with
+      | _ -> Error ()
+      | exception Qformats.Real.Parse_error { line; _ } -> Ok line)
+    ".version 2.0\n.begin\n.end\n";
+  expect_last_line "real numvars mismatch"
+    (fun src ->
+      match Qformats.Real.of_string src with
+      | _ -> Error ()
+      | exception Qformats.Real.Parse_error { line; _ } -> Ok line)
+    ".version 2.0\n.numvars 3\n.variables a b\n.begin\n.end\n";
+  expect_last_line "pla missing .i/.o"
+    (fun src ->
+      match Qformats.Pla.of_string src with
+      | _ -> Error ()
+      | exception Qformats.Pla.Parse_error { line; _ } -> Ok line)
+    "# only a type\n.type esop\n.e\n"
+
+let test_empty_input_errors_line_one () =
+  (* The degenerate empty input still reports a positive line. *)
+  List.iter
+    (fun (name, parse) ->
+      match parse "" with
+      | Some line ->
+        check_bool (name ^ ": line 1 on empty input") true (line = 1)
+      | None -> Alcotest.failf "%s: empty input parsed" name)
+    [
+      ( "qasm",
+        fun src ->
+          match Qformats.Qasm.of_string src with
+          | _ -> None
+          | exception Qformats.Qasm.Parse_error { line; _ } -> Some line );
+      ( "qc",
+        fun src ->
+          match Qformats.Qc.of_string src with
+          | _ -> None
+          | exception Qformats.Qc.Parse_error { line; _ } -> Some line );
+      ( "real",
+        fun src ->
+          match Qformats.Real.of_string src with
+          | _ -> None
+          | exception Qformats.Real.Parse_error { line; _ } -> Some line );
+      ( "pla",
+        fun src ->
+          match Qformats.Pla.of_string src with
+          | _ -> None
+          | exception Qformats.Pla.Parse_error { line; _ } -> Some line );
+    ]
+
 let () =
   Alcotest.run "qformats"
     [
@@ -476,5 +555,12 @@ let () =
         [
           Alcotest.test_case "round trips" `Quick test_file_roundtrips;
           Alcotest.test_case "whitespace" `Quick test_whitespace_robustness;
+        ] );
+      ( "error locations",
+        [
+          Alcotest.test_case "end-of-input errors use last line" `Quick
+            test_end_of_input_lines;
+          Alcotest.test_case "empty input errors on line 1" `Quick
+            test_empty_input_errors_line_one;
         ] );
     ]
