@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Bench regression guard.
+
+Compares a freshly generated BENCH_compile.json against the committed
+bench/baseline.json:
+
+- every gate-count/T-count/depth metric (the unoptimized/optimized
+  blocks, per-pass before/after snapshots and counters, verification
+  status, degraded markers) must be byte-identical — the compiler's
+  output circuits are pinned;
+- per-benchmark compile wall time may not exceed 2x the baseline
+  (generous, to tolerate CI machine noise).
+
+Usage: compare_baseline.py CURRENT BASELINE
+Exits non-zero with a per-benchmark report on any violation.
+"""
+
+import json
+import sys
+
+TIMING_FIELDS = {"elapsed_seconds", "verification_seconds"}
+PASS_TIMING_FIELDS = {"wall_seconds", "cpu_seconds"}
+WALL_FACTOR = 2.0
+# Below this many seconds, wall-time ratios are dominated by clock and
+# scheduler noise; such benchmarks only get the metric check.
+WALL_FLOOR_SECONDS = 0.05
+
+
+def strip_pass_timing(p):
+    return {k: v for k, v in p.items() if k not in PASS_TIMING_FIELDS}
+
+
+def metrics_view(bench):
+    view = {}
+    for key, value in bench.items():
+        if key in TIMING_FIELDS:
+            continue
+        if key == "passes":
+            view[key] = [strip_pass_timing(p) for p in value]
+        else:
+            view[key] = value
+    return view
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} CURRENT BASELINE")
+    with open(sys.argv[1]) as f:
+        current = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+    if current.get("schema") != baseline.get("schema"):
+        sys.exit(
+            f"schema mismatch: {current.get('schema')} vs {baseline.get('schema')}"
+        )
+
+    cur = {(b["suite"], b["name"]): b for b in current["benchmarks"]}
+    base = {(b["suite"], b["name"]): b for b in baseline["benchmarks"]}
+    failures = []
+
+    missing = base.keys() - cur.keys()
+    for key in sorted(missing):
+        failures.append(f"{key[0]}/{key[1]}: missing from current run")
+
+    for key in sorted(base.keys() & cur.keys()):
+        b, c = base[key], cur[key]
+        name = f"{key[0]}/{key[1]}"
+        bm, cm = metrics_view(b), metrics_view(c)
+        if bm != cm:
+            changed = [k for k in set(bm) | set(cm) if bm.get(k) != cm.get(k)]
+            failures.append(f"{name}: circuit metrics changed ({sorted(changed)})")
+        bt, ct = b["elapsed_seconds"], c["elapsed_seconds"]
+        if bt >= WALL_FLOOR_SECONDS and ct > WALL_FACTOR * bt:
+            failures.append(
+                f"{name}: wall time regressed {bt:.3f}s -> {ct:.3f}s "
+                f"(> {WALL_FACTOR:.0f}x baseline)"
+            )
+
+    if failures:
+        print("bench regression guard FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    total_base = sum(b["elapsed_seconds"] for b in base.values())
+    total_cur = sum(c["elapsed_seconds"] for c in cur.values())
+    print(
+        f"bench regression guard ok: {len(cur)} benchmarks, metrics identical, "
+        f"wall {total_base:.3f}s baseline vs {total_cur:.3f}s current"
+    )
+
+
+if __name__ == "__main__":
+    main()

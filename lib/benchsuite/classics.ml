@@ -8,17 +8,16 @@ let pi = 4.0 *. atan 1.0
 
 let qft n =
   if n < 1 then invalid_arg "Classics.qft: need at least 1 qubit";
-  let gates = ref [] in
+  let b = Circuit.Builder.create ~n in
   for j = 0 to n - 1 do
-    gates := Gate.H j :: !gates;
+    Circuit.Builder.add b (Gate.H j);
     for k = j + 1 to n - 1 do
       let theta = pi /. float_of_int (1 lsl (k - j)) in
-      List.iter
-        (fun g -> gates := g :: !gates)
+      Circuit.Builder.add_list b
         (Decompose.controlled_phase ~theta ~control:k ~target:j)
     done
   done;
-  Circuit.make ~n (List.rev !gates)
+  Circuit.Builder.to_circuit b
 
 let bernstein_vazirani ~secret n =
   if n < 1 || secret < 0 || secret >= 1 lsl n then

@@ -65,6 +65,52 @@ let stats c =
 let t_count c = (stats c).t_count
 let cnot_count c = (stats c).cnot_count
 
+type full_stats = {
+  fs_t_count : int;
+  fs_cnot_count : int;
+  fs_gate_volume : int;
+  fs_depth : int;
+  fs_t_depth : int;
+}
+
+(* One walk computes what [stats] + [depth] + [t_depth] would take
+   three: the counting fold fused with the per-qubit frontier levels of
+   [weighted_depth] (unit weight and T-weight tracked side by side). *)
+let full_stats c =
+  let level = Array.make c.n 0 in
+  let t_level = Array.make c.n 0 in
+  let depth = ref 0 in
+  let t_depth = ref 0 in
+  let t_count = ref 0 in
+  let cnot_count = ref 0 in
+  let volume = ref 0 in
+  List.iter
+    (fun g ->
+      incr volume;
+      let t_like = Gate.is_t_like g in
+      if t_like then incr t_count;
+      if Gate.is_cnot g then incr cnot_count;
+      let support = Gate.support g in
+      let at = List.fold_left (fun acc q -> max acc level.(q)) 0 support in
+      let t_at = List.fold_left (fun acc q -> max acc t_level.(q)) 0 support in
+      let after = at + 1 in
+      let t_after = t_at + if t_like then 1 else 0 in
+      List.iter
+        (fun q ->
+          level.(q) <- after;
+          t_level.(q) <- t_after)
+        support;
+      if after > !depth then depth := after;
+      if t_after > !t_depth then t_depth := t_after)
+    c.gates;
+  {
+    fs_t_count = !t_count;
+    fs_cnot_count = !cnot_count;
+    fs_gate_volume = !volume;
+    fs_depth = !depth;
+    fs_t_depth = !t_depth;
+  }
+
 (* Longest weighted chain through shared qubits: per-qubit frontier
    levels, each gate lands at 1 + max over its support (or +weight). *)
 let weighted_depth weight c =
@@ -103,6 +149,32 @@ let max_gate_arity c = List.fold_left (fun acc g -> max acc (Gate.arity g)) 0 c.
 let fold f init c = List.fold_left f init c.gates
 let iter f c = List.iter f c.gates
 let map_gates f c = { c with gates = List.concat_map f c.gates }
+
+(* Amortized-O(1) accumulation: gates are validated as they arrive and
+   kept in reverse, so building an n-gate circuit is O(n) total where a
+   fold over [append] would be O(n^2). *)
+module Builder = struct
+  type t = { b_n : int; mutable rev : Gate.t list; mutable len : int }
+
+  let create ~n =
+    if n <= 0 then invalid_arg "Circuit.Builder.create: need at least one qubit";
+    { b_n = n; rev = []; len = 0 }
+
+  let add b g =
+    if Gate.max_qubit g >= b.b_n then
+      invalid_arg
+        (Printf.sprintf "Circuit.make: gate %s outside %d-qubit register"
+           (Gate.to_string g) b.b_n);
+    b.rev <- g :: b.rev;
+    b.len <- b.len + 1
+
+  let add_list b gates = List.iter (add b) gates
+  let length b = b.len
+
+  (* Gates were validated on [add], so the record is built directly
+     instead of re-walking the list through [make]. *)
+  let to_circuit b = { n = b.b_n; gates = List.rev b.rev }
+end
 
 let pp fmt c =
   Format.fprintf fmt "circuit on %d qubits (%d gates):@\n" c.n (gate_count c);

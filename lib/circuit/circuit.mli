@@ -27,7 +27,8 @@ val gates : t -> Gate.t list
 val gate_count : t -> int
 val is_empty : t -> bool
 
-(** [append c g] adds [g] at the end.
+(** [append c g] adds [g] at the end.  This copies the whole gate list
+    (O(n)); to accumulate many gates use {!Builder} instead.
     @raise Invalid_argument if [g] does not fit the register. *)
 val append : t -> Gate.t -> t
 
@@ -68,6 +69,21 @@ val stats : t -> stats
 val t_count : t -> int
 val cnot_count : t -> int
 
+(** All static metrics in one pass.  [full_stats c] computes in a single
+    walk of the gate list exactly what [stats c], [depth c] and
+    [t_depth c] would compute in three; telemetry sinks ({!Trace} and
+    the compiler report) use it so snapshotting large circuits stays
+    linear with a small constant. *)
+type full_stats = {
+  fs_t_count : int;  (** = [(stats c).t_count] *)
+  fs_cnot_count : int;  (** = [(stats c).cnot_count] *)
+  fs_gate_volume : int;  (** = [(stats c).gate_volume] *)
+  fs_depth : int;  (** = [depth c] *)
+  fs_t_depth : int;  (** = [t_depth c] *)
+}
+
+val full_stats : t -> full_stats
+
 (** [depth c] is the circuit depth: the length of the longest chain of
     gates sharing qubits, i.e. the number of time steps when every gate
     takes one step and gates on disjoint qubits run in parallel.  The
@@ -101,3 +117,35 @@ val map_gates : (Gate.t -> Gate.t list) -> t -> t
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
+
+(** Amortized-O(1) gate accumulation.
+
+    Folding {!append} over a gate stream is quadratic (each call copies
+    the list).  A [Builder] validates each gate as it arrives and keeps
+    the sequence in reverse, so [n] additions plus one {!Builder.to_circuit}
+    cost O(n) total.  Used by the routers, the format parsers and the
+    benchmark generators — anywhere a circuit is grown gate by gate. *)
+module Builder : sig
+  type circuit := t
+  type t
+
+  (** [create ~n] starts an empty builder over an [n]-qubit register.
+      @raise Invalid_argument if [n <= 0]. *)
+  val create : n:int -> t
+
+  (** [add b g] appends [g].
+      @raise Invalid_argument if [g] does not fit the register (same
+      contract as {!make}). *)
+  val add : t -> Gate.t -> unit
+
+  (** [add_list b gates] appends in order. *)
+  val add_list : t -> Gate.t list -> unit
+
+  (** Number of gates added so far. *)
+  val length : t -> int
+
+  (** [to_circuit b] freezes the accumulated sequence (the builder
+      remains usable; later additions do not affect circuits already
+      frozen). *)
+  val to_circuit : t -> circuit
+end

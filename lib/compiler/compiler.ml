@@ -652,11 +652,11 @@ let verification_to_string = function
 
 let pp_report fmt r =
   let pr label c cost =
-    let st = Circuit.stats c in
+    let st = Circuit.full_stats c in
     Format.fprintf fmt
       "  %-12s T=%d cnot=%d gates=%d depth=%d t-depth=%d cost=%g@\n" label
-      st.Circuit.t_count st.Circuit.cnot_count st.Circuit.gate_volume
-      (Circuit.depth c) (Circuit.t_depth c) cost
+      st.Circuit.fs_t_count st.Circuit.fs_cnot_count st.Circuit.fs_gate_volume
+      st.Circuit.fs_depth st.Circuit.fs_t_depth cost
   in
   Format.fprintf fmt "compilation report:@\n";
   pr "unoptimized" r.unoptimized r.unoptimized_cost;

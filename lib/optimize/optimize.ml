@@ -21,8 +21,11 @@ let not_family = function
 
 let disjoint a b = List.for_all (fun q -> not (List.mem q b)) a
 
-let commutes g h =
-  let sg = Gate.support g and sh = Gate.support h in
+(* [commutes] with both supports already in hand: the cancellation
+   sweep calls this up to 2x lookback times per incoming gate, and
+   [Gate.support] allocates a [sort_uniq] per call — so supports are
+   computed once per gate and threaded through (see [cancel_pass]). *)
+let commutes_with_support sg g sh h =
   if disjoint sg sh then true
   else if Gate.equal g h then true
   else
@@ -64,6 +67,9 @@ let commutes g h =
         | Some (cg, tg), Some (ch, th) ->
           (not (List.mem tg ch)) && not (List.mem th cg)
         | (Some _ | None), (Some _ | None) -> false
+
+let commutes g h =
+  commutes_with_support (Gate.support g) g (Gate.support h) h
 
 let same_pair (a, b) (c, d) = (a = c && b = d) || (a = d && b = c)
 
@@ -125,34 +131,38 @@ let merge_gates g h =
     | _, _ -> None)
 
 let cancel_pass ?(lookback = 50) c =
-  (* [acc] holds processed gates in reverse order (head = most recent).
-     For each incoming gate, scan back through gates it commutes with,
-     looking for a merge partner; the replacement lands at the partner's
-     position, which is sound because the current gate commutes with
-     everything in between. *)
-  let rec try_merge acc g depth =
+  (* [acc] holds processed gates in reverse order (head = most recent),
+     each paired with its precomputed support so the backward scan never
+     recomputes [Gate.support].  For each incoming gate, scan back
+     through gates it commutes with, looking for a merge partner; the
+     replacement lands at the partner's position, which is sound because
+     the current gate commutes with everything in between. *)
+  let with_support g = (g, Gate.support g) in
+  let rec try_merge acc (g, sg) depth =
     match acc with
     | [] -> None
-    | h :: earlier ->
+    | ((h, sh) as entry) :: earlier ->
       if depth <= 0 then None
       else begin
         match merge_gates h g with
-        | Some replacement -> Some (List.rev_append replacement earlier)
+        | Some replacement ->
+          Some (List.rev_append (List.map with_support replacement) earlier)
         | None ->
-          if commutes g h then
-            match try_merge earlier g (depth - 1) with
-            | Some earlier' -> Some (h :: earlier')
+          if commutes_with_support sg g sh h then
+            match try_merge earlier (g, sg) (depth - 1) with
+            | Some earlier' -> Some (entry :: earlier')
             | None -> None
           else None
       end
   in
   let step acc g =
-    match try_merge acc g lookback with
+    let entry = with_support g in
+    match try_merge acc entry lookback with
     | Some acc' -> acc'
-    | None -> g :: acc
+    | None -> entry :: acc
   in
   Circuit.make ~n:(Circuit.n_qubits c)
-    (List.rev (Circuit.fold step [] c))
+    (List.rev_map fst (Circuit.fold step [] c))
 
 let rewrite_pass ?device c =
   let direction_ok ~control ~target =
@@ -182,23 +192,75 @@ let rewrite_pass ?device c =
   in
   Circuit.make ~n:(Circuit.n_qubits c) (go (Circuit.gates c))
 
+(* Window-signature memo for the identity test.  Support-compacted
+   windows are position independent — [H 7; X 9; H 7] and [H 0; X 2;
+   H 0] compact to the same signature — so each distinct signature pays
+   for one dense [Sim.unitary] ever, across sweeps and across circuits
+   (the verdict depends only on the gate sequence).  The table is a pure
+   cache: on overflow it is dropped wholesale and verdicts are simply
+   re-simulated. *)
+let window_memo : (Gate.t list, bool) Hashtbl.t = Hashtbl.create 4096
+let window_memo_limit = 65536
+
+(* Gates whose matrix can be arbitrarily close to the identity
+   (vanishing angle).  Every other library gate is at distance >=
+   |e^(i pi/4) - 1| ~ 0.765 from the identity, many orders of magnitude
+   above the 1e-9 tolerance. *)
+let near_identity_possible = function
+  | Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.Phase _ -> true
+  | Gate.X _ | Gate.Y _ | Gate.Z _ | Gate.H _ | Gate.S _ | Gate.Sdg _
+  | Gate.T _ | Gate.Tdg _ | Gate.Cnot _ | Gate.Cz _ | Gate.Swap _
+  | Gate.Toffoli _ | Gate.Mct _ ->
+    false
+
+(* Cheap sound rejection: a qubit touched by exactly one window gate
+   forces that gate to act as the identity on it.  Factoring the window
+   unitary over the lone qubit's operator blocks shows the gate would
+   have to be within ~4 eps of V (x) I for some unitary V on its other
+   qubits — and every parameter-free library gate is at distance O(1)
+   from that set.  Only near-zero-angle rotations can pass, so they are
+   exempt and fall through to the simulation. *)
+let lone_touch_rules_out window supports support =
+  List.exists
+    (fun q ->
+      match
+        List.filter (fun (_, s) -> List.mem q s) (List.combine window supports)
+      with
+      | [ (g, _) ] -> not (near_identity_possible g)
+      | _ -> false)
+    support
+
 let window_is_identity window =
-  let support =
-    List.sort_uniq Int.compare (List.concat_map Gate.support window)
-  in
+  let supports = List.map Gate.support window in
+  let support = List.sort_uniq Int.compare (List.concat supports) in
   List.length support <= 3
   &&
-  let index q =
-    let rec find i = function
-      | [] -> assert false
-      | x :: rest -> if x = q then i else find (i + 1) rest
+  (* Exact-inverse pair: g then (adjoint g) multiplies to the identity
+     by construction; no simulation needed. *)
+  match window with
+  | [ g; h ] when Gate.equal h (Gate.adjoint g) -> true
+  | _ ->
+    (not (lone_touch_rules_out window supports support))
+    &&
+    let index q =
+      let rec find i = function
+        | [] -> assert false
+        | x :: rest -> if x = q then i else find (i + 1) rest
+      in
+      find 0 support
     in
-    find 0 support
-  in
-  let compact =
-    Circuit.make ~n:(List.length support) (List.map (Gate.rename index) window)
-  in
-  Mathkit.Matrix.is_identity ~eps:1e-9 (Sim.unitary compact)
+    let signature = List.map (Gate.rename index) window in
+    (match Hashtbl.find_opt window_memo signature with
+    | Some verdict -> verdict
+    | None ->
+      let compact = Circuit.make ~n:(List.length support) signature in
+      let verdict =
+        Mathkit.Matrix.is_identity ~eps:1e-9 (Sim.unitary compact)
+      in
+      if Hashtbl.length window_memo >= window_memo_limit then
+        Hashtbl.reset window_memo;
+      Hashtbl.replace window_memo signature verdict;
+      verdict)
 
 let remove_identity_windows ?(max_window = 6) c =
   let rec take k = function
@@ -268,9 +330,12 @@ let optimize_budgeted ?device ?(cost = Cost.eqn2) ?(trace = Trace.disabled)
       Trace.stop_with trace sp ~cost
         ~counters:[ ("improved", if improved then 1.0 else 0.0) ]
         candidate;
+      (* [iterations] counts accepted sweeps on every exit path: the
+         final sweep of a converged run was rejected, so it reports
+         [i - 1] exactly like the cap and deadline branches do. *)
       if improved then loop (i + 1) candidate candidate_cost
       else
-        { circuit = best; iterations = i;
+        { circuit = best; iterations = i - 1;
           hit_iteration_cap = false; hit_deadline = false }
     end
   in

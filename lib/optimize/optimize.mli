@@ -41,13 +41,22 @@ val rewrite_pass : ?device:Device.t -> Circuit.t -> Circuit.t
 
 (** [remove_identity_windows ?max_window c] deletes contiguous gate
     windows (up to [max_window] gates, default 6, spanning at most 3
-    qubits) whose product is exactly the identity. *)
+    qubits) whose product is exactly the identity.  Identity verdicts
+    are memoized on the support-compacted gate sequence and guarded by
+    sound pre-filters (exact inverse pairs; qubits touched by a single
+    parameter-free gate), so the dense simulation only runs on cache
+    misses — the result is identical to checking every window. *)
 val remove_identity_windows : ?max_window:int -> Circuit.t -> Circuit.t
 
 (** What a budgeted optimization run produced and why it stopped. *)
 type outcome = {
   circuit : Circuit.t;  (** the cheapest circuit seen *)
-  iterations : int;  (** completed fixpoint sweeps *)
+  iterations : int;
+      (** accepted fixpoint sweeps — sweeps whose result was kept.  A
+          converged run's final sweep is rejected (it found no
+          improvement) and is {e not} counted, matching the cap and
+          deadline paths; with a recording trace, the span count is
+          [iterations + 1] when the run converged. *)
   hit_iteration_cap : bool;
       (** stopped by [max_iterations] before reaching a fixed point *)
   hit_deadline : bool;  (** stopped by [deadline_ns] *)

@@ -73,9 +73,8 @@ let is_valid d a =
    neighborhoods, then repeatedly place the unplaced logical qubit with
    the strongest ties to already-placed ones on the free physical qubit
    minimizing its weighted distance to them. *)
-let greedy d weights =
+let greedy d dist weights =
   let n = Device.n_qubits d in
-  let dist = distances d in
   let logical_of_physical = Array.make n (-1) in
   let physical_of_logical = Array.make n (-1) in
   let free_physical p = logical_of_physical.(p) = -1 in
@@ -150,11 +149,38 @@ let greedy d weights =
   done;
   physical_of_logical
 
-(* Pairwise-exchange local search to a fixed point (bounded passes). *)
+(* Pairwise-exchange local search to a fixed point (bounded passes).
+
+   Each candidate exchange is scored by an O(degree) delta over the
+   edges incident to the two logical qubits being swapped, instead of
+   re-summing the full interaction list: the cost is an integer sum of
+   independent edge terms, and an exchange of [l1] and [l2] only changes
+   the terms of edges touching them (the [l1]-[l2] edge itself is
+   symmetric under the exchange and drops out).  Integer arithmetic
+   makes the delta exact, so acceptance decisions — and therefore the
+   final assignment — are identical to full re-scoring. *)
 let improve dist weights a0 =
   let a = Array.copy a0 in
   let n = Array.length a in
-  let current = ref (cost_of_weights dist weights a) in
+  let adjacency = Array.make n [] in
+  List.iter
+    (fun ((x, y), w) ->
+      adjacency.(x) <- (y, w) :: adjacency.(x);
+      adjacency.(y) <- (x, w) :: adjacency.(y))
+    weights;
+  let excess p q = max 0 (dist.(p).(q) - 1) in
+  let exchange_delta l1 l2 =
+    let p1 = a.(l1) and p2 = a.(l2) in
+    let side l from_p to_p skip =
+      List.fold_left
+        (fun acc (other, w) ->
+          if other = skip then acc
+          else
+            acc + (w * (excess to_p a.(other) - excess from_p a.(other))))
+        0 adjacency.(l)
+    in
+    side l1 p1 p2 l2 + side l2 p2 p1 l1
+  in
   let involved =
     List.concat_map (fun ((x, y), _) -> [ x; y ]) weights
     |> List.sort_uniq Int.compare
@@ -167,19 +193,11 @@ let improve dist weights a0 =
     List.iter
       (fun l1 ->
         for l2 = 0 to n - 1 do
-          if l1 <> l2 then begin
+          if l1 <> l2 && exchange_delta l1 l2 < 0 then begin
             let p1 = a.(l1) and p2 = a.(l2) in
             a.(l1) <- p2;
             a.(l2) <- p1;
-            let cost = cost_of_weights dist weights a in
-            if cost < !current then begin
-              current := cost;
-              improved := true
-            end
-            else begin
-              a.(l1) <- p1;
-              a.(l2) <- p2
-            end
+            improved := true
           end
         done)
       involved
@@ -190,10 +208,12 @@ let choose d c =
   let weights = interaction_weights c in
   if weights = [] then identity d
   else begin
+    (* One all-pairs BFS, shared by seeding, local search and scoring
+       (it used to be recomputed inside [greedy]). *)
     let dist = distances d in
     let id = identity d in
     let id_cost = cost_of_weights dist weights id in
-    let candidate = improve dist weights (greedy d weights) in
+    let candidate = improve dist weights (greedy d dist weights) in
     let candidate_cost = cost_of_weights dist weights candidate in
     if candidate_cost < id_cost then candidate else id
   end

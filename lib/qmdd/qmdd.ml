@@ -9,7 +9,7 @@ type manager = {
   n : int;
   terminal : node;
   unique : (unique_key, node) Hashtbl.t;
-  values : (int * int, Cx.t) Hashtbl.t;
+  values : (int * int, Cx.t list) Hashtbl.t;
   mul_cache : (int * int, edge) Hashtbl.t;
   add_cache : (int * int * (float * float), edge) Hashtbl.t;
   mutable next_id : int;
@@ -46,20 +46,37 @@ let bucket x = int_of_float (Float.round (x *. bucket_scale))
    in the value table, so that near-equal floats coming from different
    computation paths become physically identical and hash identically.
    Checking the 3x3 neighborhood of the bucket covers values that land
-   just across a bucket boundary. *)
+   just across a bucket boundary.
+
+   Each bucket holds a {e chain} of representatives, oldest first: a
+   miss appends instead of overwriting, so a new weight that shares a
+   bucket with an established representative but fails the
+   [approx_equal] test never evicts it.  (Overwriting would let two
+   interleaved weight streams thrash the bucket and silently defeat
+   node dedup — every stream switch would re-canonicalize the other
+   stream's nodes to a fresh representative.)  Chains stay short: a
+   bucket is [weight_eps] wide while representatives must be more than
+   [2 * weight_eps] apart to coexist. *)
 let canonical m z =
   if Cx.is_zero ~eps:weight_eps z then Cx.zero
   else if Cx.is_one ~eps:weight_eps z then Cx.one
   else
     let br = bucket z.Complex.re and bi = bucket z.Complex.im in
+    let matching = Cx.approx_equal ~eps:(2.0 *. weight_eps) in
     let rec scan = function
       | [] ->
-        Hashtbl.replace m.values (br, bi) z;
+        let chain =
+          Option.value ~default:[] (Hashtbl.find_opt m.values (br, bi))
+        in
+        Hashtbl.replace m.values (br, bi) (chain @ [ z ]);
         z
       | (dr, di) :: rest -> (
         match Hashtbl.find_opt m.values (br + dr, bi + di) with
-        | Some rep when Cx.approx_equal ~eps:(2.0 *. weight_eps) rep z -> rep
-        | Some _ | None -> scan rest)
+        | Some chain -> (
+          match List.find_opt (fun rep -> matching rep z) chain with
+          | Some rep -> rep
+          | None -> scan rest)
+        | None -> scan rest)
     in
     scan
       [ (0, 0); (1, 0); (-1, 0); (0, 1); (0, -1); (1, 1); (1, -1); (-1, 1);

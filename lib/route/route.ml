@@ -143,9 +143,10 @@ let oriented_cnot ?stats d ~control ~target =
       (Printf.sprintf "Route.oriented_cnot: q%d,q%d not coupled on %s" control
          target (Device.name d))
 
-(* [budget], when given, is the number of SWAP insertions still
-   allowed.  A reroute whose chain does not fit leaves the CNOT as
-   written — the unitary is preserved, the gate is merely not yet
+(* [budget], when given, is the number of SWAP gates that may still be
+   emitted (a reroute of [hops] hops emits the forward chain and the
+   return chain, so it costs [2 * hops]).  A reroute whose chain does
+   not fit leaves the CNOT as written — the unitary is preserved, the gate is merely not yet
    device-legal — and counts it in [unrouted_cnots] so the caller can
    mark the stage degraded.  Direction reversals cost no SWAPs and are
    always performed. *)
@@ -269,9 +270,9 @@ let route_circuit_tracking ?stats ?swap_budget d c =
   let n = Device.n_qubits d in
   let phys_of_log = Array.init n (fun q -> q) in
   let log_of_phys = Array.init n (fun q -> q) in
-  let out = ref [] in
+  let out = Circuit.Builder.create ~n in
   let history = ref [] in
-  let emit g = out := g :: !out in
+  let emit g = Circuit.Builder.add out g in
   let do_swap p1 p2 =
     emit (Gate.Swap (p1, p2));
     note stats (fun s -> s.swaps_inserted <- s.swaps_inserted + 1);
@@ -291,8 +292,11 @@ let route_circuit_tracking ?stats ?swap_budget d c =
       if Device.is_simulator d then emit g
       else begin
         let pc = phys_of_log.(control) and pt = phys_of_log.(target) in
-        (* Budget accounting charges the forward hops only: the final
-           restore replays SWAPs already paid for. *)
+        (* Budget = SWAPs actually emitted, the same semantic as the
+           swap-chain routers: each forward hop accepted here is
+           replayed once by the final layout restore, so a reroute of
+           [hops] hops costs [2 * hops] emitted SWAPs and is charged as
+           such up front. *)
         if Device.coupled d pc pt then
           List.iter emit (oriented_cnot ?stats d ~control:pc ~target:pt)
         else begin
@@ -300,9 +304,9 @@ let route_circuit_tracking ?stats ?swap_budget d c =
           let hops = List.length path - 1 in
           let exhausted =
             match budget with
-            | Some remaining when hops > !remaining -> true
+            | Some remaining when 2 * hops > !remaining -> true
             | Some remaining ->
-              remaining := !remaining - hops;
+              remaining := !remaining - (2 * hops);
               false
             | None -> false
           in
@@ -338,7 +342,7 @@ let route_circuit_tracking ?stats ?swap_budget d c =
   note stats (fun s ->
       s.swaps_inserted <- s.swaps_inserted + List.length !history);
   List.iter (fun (p1, p2) -> emit (Gate.Swap (p1, p2))) !history;
-  Circuit.make ~n (List.rev !out)
+  Circuit.Builder.to_circuit out
 
 let legal_on d c =
   Circuit.n_qubits c <= Device.n_qubits d

@@ -80,13 +80,15 @@ val route_cnot_swaps :
 (** [route_circuit_swaps ?stats ?swap_budget d c] maps the circuit
     keeping CTR SWAPs as units; every SWAP in the result joins a
     coupled pair.  Without [swap_budget] every CNOT is legal on [d].
-    With one, at most [swap_budget] SWAP insertions are spent; once a
-    reroute no longer fits, its CNOT is left {e as written} — the
-    unitary is preserved, the gate is not yet legal — and counted in
-    [stats.unrouted_cnots] (graceful degradation: the compiler marks
-    the stage [Degraded] instead of aborting).  Direction-only
-    reversals cost no SWAPs and always happen.  Same preconditions as
-    {!route_circuit}. *)
+    With one, at most [swap_budget] SWAP gates are {e emitted} — the
+    budget counts SWAPs that actually appear in the output, the same
+    semantic every budgeted router uses, so [stats.swaps_inserted]
+    never exceeds the budget.  Once a reroute no longer fits, its CNOT
+    is left {e as written} — the unitary is preserved, the gate is not
+    yet legal — and counted in [stats.unrouted_cnots] (graceful
+    degradation: the compiler marks the stage [Degraded] instead of
+    aborting).  Direction-only reversals cost no SWAPs and always
+    happen.  Same preconditions as {!route_circuit}. *)
 val route_circuit_swaps :
   ?stats:stats -> ?swap_budget:int -> Device.t -> Circuit.t -> Circuit.t
 
@@ -102,9 +104,12 @@ val expand_swaps : Device.t -> Circuit.t -> Circuit.t
     (by replaying the swap history in reverse).  Output is swap-level,
     like {!route_circuit_swaps}; same preconditions and guarantees
     (legal CNOTs, SWAPs on coupled pairs, same overall unitary).
-    [swap_budget] degrades as in {!route_circuit_swaps}, charging the
-    forward hops only (the final layout restore replays SWAPs already
-    paid for). *)
+    [swap_budget] degrades as in {!route_circuit_swaps} and uses the
+    same semantic — budget = SWAPs actually emitted: each accepted
+    forward hop is replayed once by the final layout restore, so a
+    reroute of [h] hops is charged [2 * h] up front and
+    [stats.swaps_inserted] (forward plus restore swaps) never exceeds
+    the budget. *)
 val route_circuit_tracking :
   ?stats:stats -> ?swap_budget:int -> Device.t -> Circuit.t -> Circuit.t
 

@@ -11,13 +11,13 @@ type snapshot = {
 }
 
 let snapshot ?(cost = Cost.eqn2) c =
-  let s = Circuit.stats c in
+  let s = Circuit.full_stats c in
   {
-    gate_volume = s.Circuit.gate_volume;
-    depth = Circuit.depth c;
-    t_count = s.Circuit.t_count;
-    t_depth = Circuit.t_depth c;
-    cnot_count = s.Circuit.cnot_count;
+    gate_volume = s.Circuit.fs_gate_volume;
+    depth = s.Circuit.fs_depth;
+    t_count = s.Circuit.fs_t_count;
+    t_depth = s.Circuit.fs_t_depth;
+    cnot_count = s.Circuit.fs_cnot_count;
     cost = Cost.evaluate cost c;
   }
 

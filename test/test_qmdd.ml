@@ -336,6 +336,39 @@ let prop_gate_qmdd_node_linear =
          multiplied CNOTs) up to ~6. *)
       Qmdd.node_count (Qmdd.gate m g) <= 6 * 16 + 10)
 
+let test_canonical_weight_stability () =
+  (* Two interleaved weight streams whose values land a near-boundary
+     hair apart must canonicalize stably: the value table keeps every
+     established representative (per-bucket chains — a miss appends, it
+     never evicts), so replaying either stream maps onto the original
+     representative and the unique-node count stays flat instead of
+     growing with every stream switch. *)
+  let m = Qmdd.create ~n:1 in
+  let theta = 0.7 in
+  let ga = Gate.Phase (theta, 0) in
+  (* Within one bucket of [ga]'s weight: must share its node. *)
+  let gb = Gate.Phase (theta +. 4e-10, 0) in
+  (* Far enough (> 2e-9 in weight space) to deserve its own
+     representative, close enough to keep exercising the same
+     neighborhood scan. *)
+  let gc = Gate.Phase (theta +. 2e-8, 0) in
+  let ea = Qmdd.gate m ga in
+  let eb = Qmdd.gate m gb in
+  Alcotest.(check bool)
+    "near-equal weights canonicalize to one node" true (Qmdd.equal ea eb);
+  ignore (Qmdd.gate m gc);
+  let baseline = (Qmdd.stats m).Qmdd.unique_nodes in
+  for _ = 1 to 50 do
+    ignore (Qmdd.gate m ga);
+    ignore (Qmdd.gate m gc);
+    ignore (Qmdd.gate m gb)
+  done;
+  let after = (Qmdd.stats m).Qmdd.unique_nodes in
+  Alcotest.(check int) "unique-node count stays flat" baseline after;
+  (* And replaying stream A still yields the original edge, physically. *)
+  Alcotest.(check bool) "representative stable" true
+    (Qmdd.equal ea (Qmdd.gate m ga))
+
 let () =
   Alcotest.run "qmdd"
     [
@@ -347,6 +380,8 @@ let () =
           Alcotest.test_case "multiply" `Quick test_multiply_matches_dense;
           Alcotest.test_case "add" `Quick test_add;
           Alcotest.test_case "canonicity" `Quick test_canonicity;
+          Alcotest.test_case "canonical weight stability" `Quick
+            test_canonical_weight_stability;
           Alcotest.test_case "of_circuit/entry" `Quick test_of_circuit_and_entry;
         ] );
       ( "equivalence",

@@ -218,6 +218,93 @@ let test_weighted_routing_equivalent () =
   check_bool "legal" true (Route.legal_on d expanded);
   check_bool "equivalent" true (Qmdd.equivalent ~up_to_phase:false c expanded)
 
+(* Budget semantic: budget = SWAP gates actually emitted, identical
+   across the budgeted routers.  On a 5-qubit line, CNOT q0,q3 reroutes
+   over path [0; 1; 2] (2 hops): the CTR and weighted routers emit 2
+   forward + 2 return SWAPs, the tracking router 2 forward + 2 restore
+   SWAPs — all three exhaust a budget of 3 and exactly fit a budget
+   of 4. *)
+let line5 =
+  Device.make ~name:"line5" ~n_qubits:5 [ (0, 1); (1, 2); (2, 3); (3, 4) ]
+
+let count_swaps cir =
+  Circuit.fold
+    (fun acc g -> match g with Gate.Swap _ -> acc + 1 | _ -> acc)
+    0 cir
+
+let budgeted_routers d c =
+  [
+    ("ctr", fun stats budget -> Route.route_circuit_swaps ~stats ?swap_budget:budget d c);
+    ( "weighted",
+      fun stats budget ->
+        Route.route_circuit_swaps_weighted ~stats ?swap_budget:budget d
+          ~weight:(fun _ _ -> 1.0)
+          c );
+    ( "tracking",
+      fun stats budget ->
+        Route.route_circuit_tracking ~stats ?swap_budget:budget d c );
+  ]
+
+let test_swap_budget_exhaustion_points () =
+  let c = Circuit.make ~n:5 [ Gate.Cnot { control = 0; target = 3 } ] in
+  List.iter
+    (fun (name, route) ->
+      (* Budget 3: the 4-swap reroute does not fit — the CNOT stays as
+         written and nothing is spent. *)
+      let s3 = Route.new_stats () in
+      let r3 = route s3 (Some 3) in
+      check_int (name ^ ": budget 3 leaves the cnot unrouted") 1
+        s3.Route.unrouted_cnots;
+      check_int (name ^ ": budget 3 emits no swaps") 0 (count_swaps r3);
+      (* Budget 4: exactly fits, and the stat agrees with the budget. *)
+      let s4 = Route.new_stats () in
+      let r4 = route s4 (Some 4) in
+      check_int (name ^ ": budget 4 routes") 0 s4.Route.unrouted_cnots;
+      check_int (name ^ ": budget 4 emits 4 swaps") 4 (count_swaps r4);
+      check_int (name ^ ": swaps_inserted = emitted swaps") 4
+        s4.Route.swaps_inserted)
+    (budgeted_routers line5 c)
+
+let prop_budgeted_routers_preserve_unitary =
+  (* Whatever the budget, routing never changes the computed unitary:
+     an exhausted reroute leaves its CNOT as written.  Degraded outputs
+     are checked for exact accounting — every coupling-illegal CNOT in
+     the output is one the budget refused — and clean outputs must be
+     fully device-legal after SWAP expansion. *)
+  QCheck2.Test.make
+    ~name:"budgeted routers: unitary preserved, accounting exact" ~count:12
+    QCheck2.Gen.(
+      pair (int_bound 3) (Testutil.gen_native_circuit ~max_gates:8 6))
+    (fun (budget_idx, c) ->
+      let d =
+        Device.make ~name:"line6" ~n_qubits:6
+          [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ]
+      in
+      let budget = List.nth [ Some 0; Some 1; Some 3; None ] budget_idx in
+      let widened = Circuit.widen c 6 in
+      List.for_all
+        (fun (_name, route) ->
+          let stats = Route.new_stats () in
+          let routed = route stats budget in
+          let illegal_cnots =
+            Circuit.fold
+              (fun acc g ->
+                match g with
+                | Gate.Cnot { control; target }
+                  when not (Device.coupled d control target) ->
+                  acc + 1
+                | _ -> acc)
+              0 routed
+          in
+          Sim.equivalent ~up_to_phase:false widened routed
+          && illegal_cnots = stats.Route.unrouted_cnots
+          && (match budget with
+             | Some b -> stats.Route.swaps_inserted <= b
+             | None -> true)
+          && (stats.Route.unrouted_cnots > 0
+             || Route.legal_on d (Route.expand_swaps d routed)))
+        (budgeted_routers d c))
+
 let gen_device =
   (* Random connected device: a random spanning chain plus random extra
      directed edges. *)
@@ -296,5 +383,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_routing_legal_and_equivalent;
           QCheck_alcotest.to_alcotest prop_swap_level_equivalent;
           QCheck_alcotest.to_alcotest prop_tracking_router_equivalent;
+        ] );
+      ( "swap budgets",
+        [
+          Alcotest.test_case "exhaustion points" `Quick
+            test_swap_budget_exhaustion_points;
+          QCheck_alcotest.to_alcotest prop_budgeted_routers_preserve_unitary;
         ] );
     ]

@@ -241,6 +241,29 @@ let test_optimize_iteration_spans () =
   check_bool "last sweep did not improve" true
     (last.Trace.counters = [ ("improved", 0.0) ])
 
+let test_optimize_iterations_count_accepted_sweeps () =
+  (* [outcome.iterations] counts accepted sweeps on every exit path.  A
+     converged run traces one span per sweep, the final rejected one
+     included, so spans = iterations + 1; a capped run stops before the
+     would-be rejected sweep, so spans = iterations. *)
+  let c = Circuit.make ~n:2 [ Gate.H 0; Gate.H 0; Gate.T 1 ] in
+  let t = Trace.create () in
+  let converged = Optimize.optimize_budgeted ~trace:t ~stage:"conv" c in
+  check_bool "run converged" true
+    ((not converged.Optimize.hit_iteration_cap)
+    && not converged.Optimize.hit_deadline);
+  check_int "converged: spans = iterations + 1"
+    (converged.Optimize.iterations + 1)
+    (List.length (Trace.spans t));
+  let t2 = Trace.create () in
+  let capped =
+    Optimize.optimize_budgeted ~trace:t2 ~stage:"cap" ~max_iterations:1 c
+  in
+  check_bool "run capped" true capped.Optimize.hit_iteration_cap;
+  check_int "capped: one accepted sweep" 1 capped.Optimize.iterations;
+  check_int "capped: spans = iterations" capped.Optimize.iterations
+    (List.length (Trace.spans t2))
+
 let () =
   Alcotest.run "trace"
     [
@@ -270,5 +293,7 @@ let () =
           Alcotest.test_case "route stats" `Quick test_route_stats;
           Alcotest.test_case "optimize iteration spans" `Quick
             test_optimize_iteration_spans;
+          Alcotest.test_case "optimize iterations count accepted sweeps"
+            `Quick test_optimize_iterations_count_accepted_sweeps;
         ] );
     ]
