@@ -6,7 +6,8 @@
      complexity  coupling complexity of a custom map
      qmdd        print the QMDD of a circuit
      check       formally compare two circuit files
-     lint        static diagnostics and device-legality findings *)
+     lint        static diagnostics and device-legality findings
+     fuzz        metamorphic property-fuzz the whole pipeline *)
 
 open Cmdliner
 
@@ -476,12 +477,11 @@ let compile_cmd =
   in
   let term =
     Term.(
-      term_result
-        (const run $ inputs_opt $ inputs_pos $ device $ custom_map $ qubits
-       $ output $ no_optimize $ no_verify $ strict $ weights $ place $ router
-       $ trace_mode $ keep_going $ deadline $ opt_iterations $ swap_budget
-       $ node_budget $ max_sim_qubits $ verify_mode $ inject_specs
-       $ inject_seed))
+      const run $ inputs_opt $ inputs_pos $ device $ custom_map $ qubits
+      $ output $ no_optimize $ no_verify $ strict $ weights $ place $ router
+      $ trace_mode $ keep_going $ deadline $ opt_iterations $ swap_budget
+      $ node_budget $ max_sim_qubits $ verify_mode $ inject_specs
+      $ inject_seed)
   in
   Cmd.v
     (Cmd.info "compile"
@@ -507,7 +507,7 @@ let devices_cmd =
   in
   Cmd.v
     (Cmd.info "devices" ~doc:"List the built-in device library (Table 2).")
-    Term.(term_result (const run $ const ()))
+    Term.(const run $ const ())
 
 (* --- complexity --- *)
 
@@ -536,7 +536,7 @@ let complexity_cmd =
   Cmd.v
     (Cmd.info "complexity"
        ~doc:"Coupling complexity of a custom map (Section 3 metric).")
-    Term.(term_result (const run $ map_arg $ qubits))
+    Term.(const run $ map_arg $ qubits)
 
 (* --- qmdd --- *)
 
@@ -570,7 +570,7 @@ let qmdd_cmd =
   in
   Cmd.v
     (Cmd.info "qmdd" ~doc:"Build and print the QMDD of a circuit (Fig. 1 style).")
-    Term.(term_result (const run $ input $ dot))
+    Term.(const run $ input $ dot)
 
 (* --- check --- *)
 
@@ -598,7 +598,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Formally compare two circuits with QMDDs.")
-    Term.(term_result (const run $ file 0 $ file 1 $ exact))
+    Term.(const run $ file 0 $ file 1 $ exact)
 
 (* --- lint --- *)
 
@@ -715,8 +715,173 @@ let lint_cmd =
          "Static circuit diagnostics and device-legality findings; exits \
           nonzero when any error-severity finding fires.")
     Term.(
-      term_result
-        (const run $ input $ device $ custom_map $ qubits $ rules $ list_rules))
+      const run $ input $ device $ custom_map $ qubits $ rules $ list_rules)
+
+(* --- fuzz --- *)
+
+(* Failure-semantics: same contract as `qsc compile` — exit 0 when every
+   property holds on every case, 123 when any property fails (the shrunk
+   counterexample, its replay seed, and the repro-file path go to
+   stdout), 124 on misuse, 125 on internal errors. *)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Base seed.  Case $(i,i) of every property draws from a state \
+             derived deterministically from it, and every reported failure \
+             prints the per-case seed that replays it with $(b,--count 1).")
+  in
+  let count =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Cases per property (default 100).")
+  in
+  let max_qubits =
+    Arg.(
+      value & opt int 8
+      & info [ "max-qubits" ] ~docv:"N"
+          ~doc:"Widest generated register (default 8; the dense oracle caps \
+                some properties lower).")
+  in
+  let max_gates =
+    Arg.(
+      value & opt int 16
+      & info [ "max-gates" ] ~docv:"N"
+          ~doc:"Longest generated gate list (default 16).")
+  in
+  let properties =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "property" ] ~docv:"NAME"
+          ~doc:
+            "Fuzz only the named property.  Repeatable; default is the whole \
+             library (see $(b,--list)).")
+  in
+  let time_budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock cap over the whole run; checked between cases, so a \
+             run out of time reports the cases finished so far and still \
+             exits by their verdict.")
+  in
+  let corpus_dir =
+    Arg.(
+      value
+      & opt string "test/corpus/fuzz"
+      & info [ "corpus-dir" ] ~docv:"DIR"
+          ~doc:
+            "Where failing cases are persisted as self-contained repro files \
+             (format $(b,qsynth-fuzz-repro/v1)), one per failure, so every \
+             fuzz-found bug becomes a permanent regression test.  Pass the \
+             empty string to skip writing.")
+  in
+  let list_props =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"Print the property table (name, guarded paper section, \
+                description) and exit.")
+  in
+  let write_repro dir (f : Fuzz.failure) =
+    let rec mkdir_p d =
+      if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+      else begin
+        mkdir_p (Filename.dirname d);
+        try Sys.mkdir d 0o755 with Sys_error _ -> ()
+      end
+    in
+    try
+      mkdir_p dir;
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "%s-%d.repro" f.Fuzz.property f.Fuzz.seed)
+      in
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Fuzz.repro_to_string f));
+      Some path
+    with Sys_error msg ->
+      Printf.eprintf "qsc: could not write repro under %s: %s\n" dir msg;
+      None
+  in
+  let run seed count max_qubits max_gates properties time_budget corpus_dir
+      list_props =
+    if list_props then begin
+      List.iter
+        (fun (p : Fuzz.Property.t) ->
+          Format.printf "%-26s %-38s %s@." p.Fuzz.Property.name
+            p.Fuzz.Property.paper p.Fuzz.Property.doc)
+        Fuzz.Property.all;
+      Ok ()
+    end
+    else if count <= 0 then Error (`Msg "--count must be positive")
+    else if max_qubits < 1 then Error (`Msg "--max-qubits must be at least 1")
+    else
+      let resolve acc name =
+        match (acc, Fuzz.Property.find name) with
+        | Error _, _ -> acc
+        | Ok ps, Some p -> Ok (ps @ [ p ])
+        | Ok _, None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown property %S (try `qsc fuzz --list')"
+                 name))
+      in
+      match
+        match properties with
+        | [] -> Ok Fuzz.Property.all
+        | names -> List.fold_left resolve (Ok []) names
+      with
+      | Error e -> Error e
+      | Ok props ->
+        let config = { Fuzz.max_qubits; max_gates } in
+        let summaries =
+          Fuzz.run ~config ~seed ~count ?time_budget ~log:print_endline props
+        in
+        let failures =
+          List.concat_map (fun s -> s.Fuzz.failures) summaries
+        in
+        if failures = [] then Ok ()
+        else begin
+          List.iter
+            (fun f ->
+              print_newline ();
+              print_string (Fuzz.failure_to_string f);
+              if corpus_dir <> "" then
+                match write_repro corpus_dir f with
+                | Some path -> Format.printf "repro written: %s@." path
+                | None -> ())
+            failures;
+          let failed_props =
+            List.filter (fun s -> s.Fuzz.failures <> []) summaries
+          in
+          Error
+            (`Msg
+              (Printf.sprintf "%d case(s) failed across %d propert%s"
+                 (List.length failures)
+                 (List.length failed_props)
+                 (if List.length failed_props = 1 then "y" else "ies")))
+        end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential and metamorphic property-fuzz the pipeline: random \
+          circuits, devices and switching functions through compile, \
+          optimize, route, place, emit/parse and the ESOP front end, \
+          checked against the dense-matrix and QMDD oracles.  Failures are \
+          shrunk to a minimal counterexample, printed with their exact \
+          replay seed, and persisted as repro files.  Exits 0 when every \
+          property holds, 123 otherwise.")
+    Term.(
+      const run $ seed $ count $ max_qubits $ max_gates $ properties
+      $ time_budget $ corpus_dir $ list_props)
 
 (* --- stats --- *)
 
@@ -763,7 +928,7 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Circuit metrics: counts, depth, T-depth, Eqn. 2 cost.")
-    Term.(term_result (const run $ input $ device))
+    Term.(const run $ input $ device)
 
 (* --- run --- *)
 
@@ -854,7 +1019,7 @@ let run_cmd =
        ~doc:
          "Simulate a circuit on a basis input via QMDDs (works at any \
           register width for classical-outcome circuits).")
-    Term.(term_result (const run $ input $ start $ query))
+    Term.(const run $ input $ start $ query)
 
 let main =
   let info =
@@ -866,17 +1031,43 @@ let main =
   Cmd.group info
     [
       compile_cmd; devices_cmd; complexity_cmd; qmdd_cmd; check_cmd; lint_cmd;
-      stats_cmd; run_cmd;
+      fuzz_cmd; stats_cmd; run_cmd;
     ]
 
-(* Last-resort exception boundary.  Subcommands report failures through
-   cmdliner's [term_result] (exit 123); anything that still escapes is
-   caught here so the user sees a one-line [file:line:]-style message —
-   never an OCaml backtrace.  Known domain exceptions exit 123 like any
-   other reported failure; everything else is a bug and exits 125. *)
+(* Exit-code boundary, implementing the README "Failure semantics"
+   contract end to end:
+
+     exit 0    the subcommand succeeded
+     exit 123  reported failure (the term evaluated to [Error (`Msg _)],
+               or a known domain exception escaped)
+     exit 124  command-line misuse (anything cmdliner's parse layer
+               rejects: unknown subcommand/option, bad option value)
+     exit 125  internal error (unexpected exception; a bug)
+
+   Subcommand terms return [result] as a *value* rather than through
+   [Term.term_result], because this cmdliner routes its parse errors
+   through the same [`Error `Term] as term_result failures — which
+   would collapse the 123/124 split.  With plain value terms, every
+   [Error `Term]/[Error `Parse] from [eval_value] is by construction a
+   parse-layer rejection.  Exceptions are classified below so the user
+   sees a one-line message, never an OCaml backtrace. *)
 let () =
-  match Cmd.eval ~catch:false ~term_err:Cmd.Exit.some_error main with
-  | code -> exit code
+  let eval () =
+    (* Test-only hook: the exit-code contract suite sets this to drive
+       the internal-error path (exit 125) end to end through a real
+       process, since no well-formed input should ever reach it. *)
+    (match Sys.getenv_opt "QSC_DEBUG_INJECT_CRASH" with
+    | Some msg -> failwith msg
+    | None -> ());
+    Cmd.eval_value ~catch:false main
+  in
+  match eval () with
+  | Ok (`Ok (Ok ())) | Ok `Help | Ok `Version -> exit 0
+  | Ok (`Ok (Error (`Msg msg))) ->
+    Printf.eprintf "qsc: %s\n" msg;
+    exit 123
+  | Error `Term | Error `Parse -> exit 124 (* message already printed *)
+  | Error `Exn -> exit 125 (* not reachable with ~catch:false *)
   | exception e ->
     let reported =
       match e with

@@ -47,11 +47,19 @@ let create ?(seed = 0) specs =
 let take n gates =
   List.filteri (fun i _ -> i < n) gates
 
+(* Every randomized fault draws from the RNG unconditionally — even
+   when the stage circuit is empty or as narrow as the IR allows — so a
+   given seed fires the same fault sequence regardless of how large
+   each stage's circuit happens to be.  Guarding the draw behind the
+   circuit's size would let one stage's output shift every later
+   fault's randomness. *)
 let apply h spec c =
   let n = Circuit.n_qubits c in
   match spec.fault with
   | Raise -> raise (Injected (Diagnostic.stage_to_string spec.stage))
-  | Nan_angle -> Circuit.append c (Gate.Rz (Float.nan, Random.State.int h.rng n))
+  | Nan_angle ->
+    let wire = Random.State.int h.rng (max 1 n) in
+    Circuit.append c (Gate.Rz (Float.nan, wire))
   | Out_of_range_wire ->
     (* Circuit.make rejects the wire; the compiler's stage guard must
        turn that Invalid_argument into an [Invalid_gate] diagnostic. *)
@@ -59,7 +67,8 @@ let apply h spec c =
   | Truncate ->
     let gates = Circuit.gates c in
     let len = List.length gates in
-    if len = 0 then c else Circuit.make ~n (take (Random.State.int h.rng len) gates)
+    let keep = Random.State.int h.rng (max 1 len) in
+    if len = 0 then c else Circuit.make ~n (take keep gates)
 
 let hook h stage c =
   let mine, rest =

@@ -30,7 +30,11 @@ type fault =
   | Truncate
       (** drop a random suffix of the gate list — a {e silent}
           corruption that changes the unitary without tripping any
-          structural check; verification must answer [Mismatch] *)
+          structural check; verification must answer [Mismatch].
+
+          Every randomized fault draws from the harness RNG even when
+          the stage circuit is empty, so a given seed fires the same
+          fault sequence regardless of each stage's circuit size. *)
 
 val all_faults : fault list
 val fault_to_string : fault -> string

@@ -62,7 +62,24 @@ let canonical m z =
   else if Cx.is_one ~eps:weight_eps z then Cx.one
   else
     let br = bucket z.Complex.re and bi = bucket z.Complex.im in
-    let matching = Cx.approx_equal ~eps:(2.0 *. weight_eps) in
+    (* The matching tolerance shrinks with the weight's magnitude:
+       snapping is only sound when the perturbation is small RELATIVE
+       to the weight.  The leftmost-nonzero normalization in
+       [make_node] routinely pairs a huge weight (s/c for a rotation
+       with a tiny matrix entry c) with its tiny reciprocal; snapping
+       that reciprocal to a neighbor 2e-9 away is a 1e-3 relative
+       error that the huge partner amplifies right back to 1e-3 in
+       the product — enough to make a circuit fail an equivalence
+       check against its byte-identical self.  Scaling the tolerance
+       by min(1, |z|) keeps the historic absolute behavior for
+       weights of magnitude >= 1 and preserves relative precision
+       below it. *)
+    let magnitude =
+      Float.max (abs_float z.Complex.re) (abs_float z.Complex.im)
+    in
+    let matching =
+      Cx.approx_equal ~eps:(2.0 *. weight_eps *. Float.min 1.0 magnitude)
+    in
     let rec scan = function
       | [] ->
         let chain =
@@ -358,7 +375,14 @@ let equal_up_to_phase a b =
   a.node == b.node
   && abs_float (Cx.norm a.w -. Cx.norm b.w) <= 1e-6
 
-let is_identity m e = e.node == (identity m).node && Cx.is_one e.w
+(* [canonical] snaps each weight to a bucket representative up to
+   [2 * weight_eps] away, and a product of many gates accumulates those
+   snaps in the root weight — so the exact-phase identity test must
+   tolerate more drift than a single [weight_eps], or two byte-identical
+   irrational-angle circuits fail their own equivalence check.  1e-6
+   matches the phase-insensitive variant below. *)
+let is_identity m e =
+  e.node == (identity m).node && Cx.is_one ~eps:1e-6 e.w
 
 let is_identity_up_to_phase m e =
   e.node == (identity m).node && abs_float (Cx.norm e.w -. 1.0) <= 1e-6

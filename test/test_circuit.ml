@@ -187,6 +187,84 @@ let prop_stats_additive =
       && sc.Circuit.cnot_count = sa.Circuit.cnot_count + sb.Circuit.cnot_count
       && sc.Circuit.gate_volume = sa.Circuit.gate_volume + sb.Circuit.gate_volume)
 
+(* --- Builder --- *)
+
+let test_builder_empty_build () =
+  let b = Circuit.Builder.create ~n:3 in
+  let c = Circuit.Builder.to_circuit b in
+  check_bool "empty" true (Circuit.is_empty c);
+  check_int "width" 3 (Circuit.n_qubits c);
+  check_int "length" 0 (Circuit.Builder.length b);
+  check_bool "equals Circuit.empty 3" true (Circuit.equal c (Circuit.empty 3))
+
+let test_builder_interleaved_reuse () =
+  (* A frozen circuit is immutable: additions after [to_circuit] must
+     not leak into circuits built earlier, and the builder stays
+     usable. *)
+  let b = Circuit.Builder.create ~n:2 in
+  Circuit.Builder.add b (Gate.H 0);
+  let first = Circuit.Builder.to_circuit b in
+  Circuit.Builder.add_list b [ Gate.X 1; Gate.Cnot { control = 0; target = 1 } ];
+  let second = Circuit.Builder.to_circuit b in
+  Circuit.Builder.add b (Gate.T 0);
+  let third = Circuit.Builder.to_circuit b in
+  check_int "first frozen at 1 gate" 1 (Circuit.gate_count first);
+  check_bool "first gates" true (Circuit.gates first = [ Gate.H 0 ]);
+  check_int "second frozen at 3 gates" 3 (Circuit.gate_count second);
+  check_int "third sees all 4 gates" 4 (Circuit.gate_count third);
+  check_int "length tracks additions" 4 (Circuit.Builder.length b);
+  check_bool "order preserved" true
+    (Circuit.gates third
+    = [ Gate.H 0; Gate.X 1; Gate.Cnot { control = 0; target = 1 }; Gate.T 0 ])
+
+let test_builder_validates () =
+  (match Circuit.Builder.create ~n:0 with
+  | (_ : Circuit.Builder.t) -> Alcotest.fail "zero-qubit builder accepted"
+  | exception Invalid_argument _ -> ());
+  let b = Circuit.Builder.create ~n:2 in
+  (match Circuit.Builder.add b (Gate.H 5) with
+  | () -> Alcotest.fail "out-of-register gate accepted"
+  | exception Invalid_argument _ -> ());
+  (* The rejected gate must not have been recorded. *)
+  check_int "rejected gate not recorded" 0 (Circuit.Builder.length b)
+
+let test_builder_equals_append_chain () =
+  (* Builder-grown circuits are observationally identical to quadratic
+     [Circuit.append] chains, over 50 fuzzed gate streams (empty and
+     1-qubit circuits included). *)
+  let st = Random.State.make [| 42 |] in
+  for _ = 1 to 50 do
+    let c = Fuzz.Gen.circuit ~max_qubits:6 ~max_gates:16 st in
+    let n = Circuit.n_qubits c in
+    let b = Circuit.Builder.create ~n in
+    let chained =
+      List.fold_left
+        (fun acc g ->
+          Circuit.Builder.add b g;
+          Circuit.append acc g)
+        (Circuit.empty n) (Circuit.gates c)
+    in
+    check_bool "builder = append chain" true
+      (Circuit.equal (Circuit.Builder.to_circuit b) chained);
+    check_bool "builder = source" true
+      (Circuit.equal (Circuit.Builder.to_circuit b) c)
+  done
+
+let test_full_stats_matches_single_walks () =
+  (* The one-pass [full_stats] agrees with the four single-metric walks
+     on 50 fuzzed circuits. *)
+  let st = Random.State.make [| 7 |] in
+  for _ = 1 to 50 do
+    let c = Fuzz.Gen.circuit ~max_qubits:8 ~max_gates:24 st in
+    let fs = Circuit.full_stats c in
+    let s = Circuit.stats c in
+    check_int "t_count" s.Circuit.t_count fs.Circuit.fs_t_count;
+    check_int "cnot_count" s.Circuit.cnot_count fs.Circuit.fs_cnot_count;
+    check_int "gate_volume" s.Circuit.gate_volume fs.Circuit.fs_gate_volume;
+    check_int "depth" (Circuit.depth c) fs.Circuit.fs_depth;
+    check_int "t_depth" (Circuit.t_depth c) fs.Circuit.fs_t_depth
+  done
+
 let () =
   Alcotest.run "circuit"
     [
@@ -204,6 +282,17 @@ let () =
           Alcotest.test_case "depth" `Quick test_depth;
           Alcotest.test_case "t-depth" `Quick test_t_depth;
           Alcotest.test_case "layers" `Quick test_layers;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "empty build" `Quick test_builder_empty_build;
+          Alcotest.test_case "interleaved add/build reuse" `Quick
+            test_builder_interleaved_reuse;
+          Alcotest.test_case "validation" `Quick test_builder_validates;
+          Alcotest.test_case "equals append chain (fuzzed)" `Quick
+            test_builder_equals_append_chain;
+          Alcotest.test_case "full_stats = single walks (fuzzed)" `Quick
+            test_full_stats_matches_single_walks;
         ] );
       ( "properties",
         [

@@ -1,0 +1,125 @@
+(* End-to-end exit-code contract of the qsc binary (README "Failure
+   semantics"):
+
+     0    success
+     123  reported failure (diagnostics, MISMATCH, failed properties)
+     124  command-line misuse (unknown subcommand/option, bad value)
+     125  internal error (unexpected exception)
+
+   These run the real executable in a real process — the only way to
+   test what the shell actually observes.  dune runs this suite with
+   the test directory as cwd, so the binary is at ../bin/qsc.exe and
+   the malformed inputs at corpus/. *)
+
+let check_int = Alcotest.(check int)
+
+let qsc = Filename.concat ".." (Filename.concat "bin" "qsc.exe")
+
+let run args =
+  Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" (Filename.quote qsc) args)
+
+(* A well-formed circuit written fresh so the suite stays self-contained
+   (everything under corpus/ is malformed on purpose). *)
+let with_good_qasm f =
+  let path = Filename.temp_file "qsc-cli" ".qasm" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx \
+         q[0],q[1];\n");
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let with_other_qasm f =
+  let path = Filename.temp_file "qsc-cli" ".qasm" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc "OPENQASM 2.0;\nqreg q[2];\nx q[0];\n");
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_exit_0_success () =
+  check_int "devices" 0 (run "devices");
+  with_good_qasm (fun good ->
+      check_int "compile" 0
+        (run (Printf.sprintf "compile -d ibmqx4 %s" (Filename.quote good)));
+      check_int "check (self)" 0
+        (run
+           (Printf.sprintf "check %s %s" (Filename.quote good)
+              (Filename.quote good))));
+  check_int "fuzz --list" 0 (run "fuzz --list");
+  check_int "fuzz (clean tree)" 0
+    (run "fuzz --property qc-roundtrip --count 5 --seed 42 --corpus-dir ''");
+  check_int "--help" 0 (run "--help");
+  check_int "--version" 0 (run "--version")
+
+let test_exit_123_reported_failure () =
+  (* Malformed input: a structured diagnostic, never a backtrace. *)
+  check_int "compile malformed" 123
+    (run "compile -d ibmqx4 corpus/truncated.qasm");
+  check_int "compile nan angle" 123
+    (run "compile -d ibmqx4 corpus/nan-angle.qasm");
+  (* Formal non-equivalence. *)
+  with_good_qasm (fun a ->
+      with_other_qasm (fun b ->
+          check_int "check non-equivalent" 123
+            (run
+               (Printf.sprintf "check %s %s" (Filename.quote a)
+                  (Filename.quote b)))));
+  (* A missing-inputs complaint is a reported failure (the parse layer
+     accepted the command line; the subcommand rejected its meaning). *)
+  check_int "compile without inputs" 123 (run "compile -d ibmqx4");
+  (* An unknown property name likewise. *)
+  check_int "fuzz unknown property" 123 (run "fuzz --property no-such-thing")
+
+let test_exit_124_misuse () =
+  check_int "unknown option" 124 (run "compile --no-such-flag");
+  check_int "unknown subcommand" 124 (run "frobnicate");
+  with_good_qasm (fun good ->
+      check_int "bad device value" 124
+        (run (Printf.sprintf "compile -d no-such-device %s" (Filename.quote good))));
+  check_int "bad int value" 124 (run "fuzz --count notanint")
+
+let test_exit_125_internal_error () =
+  (* The debug hook raises before dispatch, standing in for any bug
+     that escapes the classified-exception boundary. *)
+  let code =
+    Sys.command
+      (Printf.sprintf "QSC_DEBUG_INJECT_CRASH=boom %s devices >/dev/null 2>&1"
+         (Filename.quote qsc))
+  in
+  check_int "injected crash" 125 code
+
+let test_fuzz_repro_corpus_replays () =
+  (* Every stored repro is a past fuzz failure; on a fixed tree the
+     binary must replay it clean.  Exercises --seed/--count 1 replay
+     through the real CLI, not just the library. *)
+  Sys.readdir "corpus/fuzz" |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".repro")
+  |> List.iter (fun f ->
+         let text =
+           In_channel.with_open_text (Filename.concat "corpus/fuzz" f)
+             In_channel.input_all
+         in
+         match Fuzz.repro_of_string text with
+         | Error e -> Alcotest.failf "%s: unreadable repro: %s" f e
+         | Ok (property, seed, _case) ->
+           check_int
+             (Printf.sprintf "%s replays clean" f)
+             0
+             (run
+                (Printf.sprintf
+                   "fuzz --property %s --seed %d --count 1 --corpus-dir ''"
+                   (Filename.quote property) seed)))
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "exit codes",
+        [
+          Alcotest.test_case "0: success" `Quick test_exit_0_success;
+          Alcotest.test_case "123: reported failure" `Quick
+            test_exit_123_reported_failure;
+          Alcotest.test_case "124: misuse" `Quick test_exit_124_misuse;
+          Alcotest.test_case "125: internal error" `Quick
+            test_exit_125_internal_error;
+          Alcotest.test_case "fuzz repro corpus replays clean" `Quick
+            test_fuzz_repro_corpus_replays;
+        ] );
+    ]

@@ -164,6 +164,38 @@ let test_same_seed_same_outcome () =
   check_bool "seed 7 replays" true (outcome 7 = outcome 7);
   check_bool "seed 0 replays" true (outcome 0 = outcome 0)
 
+let test_draw_sequence_independent_of_circuit_size () =
+  (* Pin: every fault draws from the RNG even when the stage circuit
+     is empty, so one seed produces the same fault sequence no matter
+     how large each stage's circuit happens to be.  The second stage's
+     truncation point must not depend on what the first stage saw. *)
+  let big =
+    Circuit.make ~n:4
+      (List.concat_map
+         (fun q -> [ Gate.H q; Gate.T q; Gate.X q ])
+         [ 0; 1; 2; 3 ])
+  in
+  let second_stage_effect first_stage_circuit =
+    let h =
+      Faultinject.create ~seed:11
+        [
+          { Faultinject.stage = Diagnostic.Pre_optimize;
+            fault = Faultinject.Truncate };
+          { Faultinject.stage = Diagnostic.Route;
+            fault = Faultinject.Truncate };
+        ]
+    in
+    let (_ : Circuit.t) =
+      Faultinject.hook h Diagnostic.Pre_optimize first_stage_circuit
+    in
+    Circuit.gate_count (Faultinject.hook h Diagnostic.Route big)
+  in
+  List.iter
+    (fun seen_first ->
+      check_bool "same truncation point at the second stage" true
+        (second_stage_effect seen_first = second_stage_effect big))
+    [ Circuit.empty 1; Circuit.empty 4; Circuit.make ~n:2 [ Gate.H 0 ] ]
+
 let test_unfired_specs_are_visible () =
   (* A harness with no specs never fires; one targeting a stage that
      runs fires exactly once even if compiled twice over. *)
@@ -211,6 +243,8 @@ let () =
             test_truncation_at_expand_swaps_without_post_optimize;
           Alcotest.test_case "same seed same outcome" `Quick
             test_same_seed_same_outcome;
+          Alcotest.test_case "draw sequence independent of circuit size"
+            `Quick test_draw_sequence_independent_of_circuit_size;
           Alcotest.test_case "unfired specs are visible" `Quick
             test_unfired_specs_are_visible;
           Alcotest.test_case "matrix covers stages and faults" `Quick

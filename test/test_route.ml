@@ -305,22 +305,10 @@ let prop_budgeted_routers_preserve_unitary =
              || Route.legal_on d (Route.expand_swaps d routed)))
         (budgeted_routers d c))
 
-let gen_device =
-  (* Random connected device: a random spanning chain plus random extra
-     directed edges. *)
-  QCheck2.Gen.(
-    int_range 4 6 >>= fun n ->
-    let chain = List.init (n - 1) (fun i -> (i, i + 1)) in
-    list_size (int_bound 4)
-      (pair (int_bound (n - 1)) (int_bound (n - 1)))
-    |> map (fun extra ->
-           let extra =
-             List.filter
-               (fun (a, b) -> a <> b && not (List.mem (a, b) chain))
-               extra
-           in
-           let extra = List.sort_uniq compare extra in
-           Device.make ~name:"random" ~n_qubits:n (chain @ extra)))
+(* Shared fuzz-backed device generator (chains, rings, stars, spanning
+   trees): connected, and at least 4 qubits so the 4-qubit circuits
+   below always fit. *)
+let gen_device = Testutil.gen_device ~min_qubits:4 ~max_qubits:6 ()
 
 let prop_routing_legal_and_equivalent =
   QCheck2.Test.make ~name:"routing: legal placements, unitary preserved"

@@ -1,4 +1,45 @@
-(* Shared generators for the property-based tests. *)
+(* Shared generators and assertions for the property-based tests. *)
+
+(* --- bridges from the seeded lib/fuzz generators ---
+
+   The fuzz subsystem and the QCheck2 suites draw from one generator
+   source, so a distribution fix (a new edge angle, a new device
+   topology) reaches both at once.  [Fuzz.Gen.t] is a plain
+   [Random.State.t -> 'a], which QCheck2 lifts directly; shrinking is
+   left to the fuzz engine's own shrinker. *)
+
+let of_fuzz_gen g = QCheck2.Gen.make_primitive ~gen:g ~shrink:(fun _ -> Seq.empty)
+
+(* A random circuit over the full gate set, from the fuzz generators
+   (widths 1..max_qubits, rotation edge angles included). *)
+let random_circuit ?(max_qubits = 8) ?(max_gates = 16) () =
+  of_fuzz_gen (Fuzz.Gen.circuit ?gate:None ~max_qubits ~max_gates)
+
+(* A random connected device from the fuzz generators (chains, rings,
+   stars, spanning-tree-plus-edges).  [min_qubits] lets suites that pin
+   their circuit width demand a device at least that wide. *)
+let gen_device ?(min_qubits = 2) ?(max_qubits = 6) () =
+  let rec draw st =
+    let d = Fuzz.Gen.device ~max_qubits st in
+    if Device.n_qubits d >= min_qubits then d else draw st
+  in
+  of_fuzz_gen draw
+
+(* Dense-oracle unitary equality with an explicit tolerance.  Widens
+   the narrower circuit so registers of different sizes compare as the
+   same operator on the larger one; callers keep widths within
+   [Sim.max_unitary_qubits]. *)
+let assert_unitary_equal ?(tol = 1e-9) ?(up_to_phase = false) msg a b =
+  let n = max (Circuit.n_qubits a) (Circuit.n_qubits b) in
+  let ua = Sim.unitary (Circuit.widen a n)
+  and ub = Sim.unitary (Circuit.widen b n) in
+  let eq =
+    if up_to_phase then Mathkit.Matrix.equal_up_to_global_phase ~eps:tol ua ub
+    else Mathkit.Matrix.approx_equal ~eps:tol ua ub
+  in
+  if not eq then
+    Alcotest.failf "%s: unitaries differ beyond tolerance %g\n-- a --\n%s-- b --\n%s"
+      msg tol (Circuit.to_string a) (Circuit.to_string b)
 
 let gen_qubit n = QCheck2.Gen.int_bound (n - 1)
 
