@@ -4,7 +4,8 @@
 
    Usage:  main.exe [section ...]
    Sections: table1 table2 table3 table4 table5 table6 table7 table8
-             fig1 fig2 fig3 fig5 fig6 fig7 verify ablations workloads timing
+             fig1 fig2 fig3 fig5 fig6 fig7 verify ablations workloads
+             foldstates timing
    With no argument every section runs in paper order. *)
 
 let section title =
@@ -772,6 +773,56 @@ let timing () =
   write_bench_compile ()
 
 (* ------------------------------------------------------------------ *)
+(* fold-states: Optimize.fold_known_states over the full 34-benchmark
+   suite with the zero-state oracle on.  Exits nonzero when any oracle
+   check fails, or when not a single benchmark strictly improves — the
+   regression guard CI runs alongside the bench baselines. *)
+
+let foldstates () =
+  section "fold-states: abstract-interpretation folding (oracle-checked)";
+  let run name circuit =
+    let before_gates = Circuit.gate_count circuit in
+    let before_cost = Cost.evaluate Cost.eqn2 circuit in
+    let f = Optimize.fold_known_states ~check:true circuit in
+    let after_gates = Circuit.gate_count f.Optimize.circuit in
+    let after_cost = Cost.evaluate Cost.eqn2 f.Optimize.circuit in
+    Printf.printf
+      "  %-16s gates %5d -> %5d  cost %10s -> %10s  -%d deleted -%d demoted  \
+       %s\n"
+      name before_gates after_gates (fmt_cost before_cost)
+      (fmt_cost after_cost) f.Optimize.deleted f.Optimize.demoted
+      (if not f.Optimize.ok then "ORACLE-REJECTED"
+       else if f.Optimize.checked then "oracle ok"
+       else "no facts");
+    (f.Optimize.ok, after_gates < before_gates || after_cost < before_cost -. 1e-9)
+  in
+  let outcomes =
+    List.map
+      (fun b ->
+        run
+          ("#" ^ b.Benchsuite.Single_target.name)
+          (Benchsuite.Single_target.circuit b))
+      Benchsuite.Single_target.all
+    @ List.map
+        (fun b ->
+          run b.Benchsuite.Revlib_cascades.name
+            (Benchsuite.Revlib_cascades.circuit b))
+        Benchsuite.Revlib_cascades.all
+    @ List.map
+        (fun b ->
+          run b.Benchsuite.Big_cascades.name
+            (Benchsuite.Big_cascades.circuit b))
+        Benchsuite.Big_cascades.all
+  in
+  let rejected = List.exists (fun (ok, _) -> not ok) outcomes in
+  let improved = List.length (List.filter (fun (_, i) -> i) outcomes) in
+  Printf.printf "\n%d of %d benchmarks strictly improved; oracle %s\n" improved
+    (List.length outcomes)
+    (if rejected then "REJECTED at least one rewrite"
+     else "accepted every rewrite");
+  if rejected || improved = 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -810,5 +861,6 @@ let () =
   if want "verify" then verify_section (get3 ()) (get5 ());
   if want "ablations" then ablations ();
   if want "workloads" then workloads ();
+  if want "foldstates" then foldstates ();
   if want "timing" then timing ();
   Printf.printf "\nDone.\n"

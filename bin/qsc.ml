@@ -7,6 +7,7 @@
      qmdd        print the QMDD of a circuit
      check       formally compare two circuit files
      lint        static diagnostics and device-legality findings
+     analyze     abstract-interpretation state table and proved facts
      fuzz        metamorphic property-fuzz the whole pipeline *)
 
 open Cmdliner
@@ -84,6 +85,17 @@ let compile_cmd =
   in
   let no_optimize =
     Arg.(value & flag & info [ "no-optimize" ] ~doc:"Skip post-mapping optimization.")
+  in
+  let fold_states =
+    Arg.(
+      value & flag
+      & info [ "fold-states" ]
+          ~doc:
+            "After post-optimization, delete gates the abstract interpreter \
+             proves dead and demote gates with proved-constant controls \
+             (see $(b,qsc analyze)).  Preserves the state prepared from \
+             |0...0>, not the full unitary; every rewrite is re-checked by \
+             an exact zero-state oracle.")
   in
   let no_verify =
     Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip QMDD formal verification.")
@@ -230,9 +242,9 @@ let compile_cmd =
           ~doc:"Seed for $(b,--inject) randomness.")
   in
   let run inputs_opt inputs_pos device custom_map qubits output no_optimize
-      no_verify strict weights place router trace_mode keep_going deadline
-      opt_iterations swap_budget node_budget max_sim_qubits verify_mode
-      inject_specs inject_seed =
+      fold_states no_verify strict weights place router trace_mode keep_going
+      deadline opt_iterations swap_budget node_budget max_sim_qubits
+      verify_mode inject_specs inject_seed =
     let inputs = inputs_opt @ inputs_pos in
     let resolve_device () =
       match (device, custom_map, qubits) with
@@ -318,6 +330,7 @@ let compile_cmd =
             Compiler.router;
             Compiler.use_placement = place;
             Compiler.post_optimize = not no_optimize;
+            Compiler.fold_states;
             Compiler.check_contracts = strict;
             Compiler.verification;
             Compiler.budgets;
@@ -478,10 +491,10 @@ let compile_cmd =
   let term =
     Term.(
       const run $ inputs_opt $ inputs_pos $ device $ custom_map $ qubits
-      $ output $ no_optimize $ no_verify $ strict $ weights $ place $ router
-      $ trace_mode $ keep_going $ deadline $ opt_iterations $ swap_budget
-      $ node_budget $ max_sim_qubits $ verify_mode $ inject_specs
-      $ inject_seed)
+      $ output $ no_optimize $ fold_states $ no_verify $ strict $ weights
+      $ place $ router $ trace_mode $ keep_going $ deadline $ opt_iterations
+      $ swap_budget $ node_budget $ max_sim_qubits $ verify_mode
+      $ inject_specs $ inject_seed)
   in
   Cmd.v
     (Cmd.info "compile"
@@ -602,6 +615,18 @@ let check_cmd =
 
 (* --- lint --- *)
 
+(* The one JSON writer for lint findings, shared by `qsc lint --json`
+   and `qsc analyze --json`: each finding goes through the total
+   [Lint.to_diagnostic] conversion so the array reuses the Diagnostic
+   JSON conventions (stage/kind/severity/file) verbatim. *)
+let findings_to_json ~file findings =
+  Trace.Json.List
+    (List.map
+       (fun f ->
+         Diagnostic.to_json
+           (Lint.to_diagnostic ~file ~stage:Diagnostic.Driver f))
+       findings)
+
 let lint_cmd =
   let input =
     Arg.(
@@ -647,7 +672,16 @@ let lint_cmd =
       value & flag
       & info [ "list-rules" ] ~doc:"Print the rule table and exit.")
   in
-  let run input device custom_map qubits rules list_rules =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the findings as a JSON array of diagnostics \
+             (stage/kind/severity/file/message) instead of text; the exit \
+             code is unchanged.")
+  in
+  let run input device custom_map qubits rules list_rules json =
     if list_rules then begin
       List.iter
         (fun r ->
@@ -693,15 +727,21 @@ let lint_cmd =
         | Error e -> Error e
         | Ok c ->
           let findings = Lint.lint ?rules ?device c in
-          List.iter
-            (fun f -> Format.printf "%a@." Lint.pp_finding f)
-            findings;
           let count sev =
             List.length
               (List.filter (fun f -> f.Lint.severity = sev) findings)
           in
-          Format.printf "%d error(s), %d warning(s), %d info@." (count Lint.Error)
-            (count Lint.Warning) (count Lint.Info);
+          if json then
+            print_endline
+              (Trace.Json.to_string ~pretty:true
+                 (findings_to_json ~file:input findings))
+          else begin
+            List.iter
+              (fun f -> Format.printf "%a@." Lint.pp_finding f)
+              findings;
+            Format.printf "%d error(s), %d warning(s), %d info@."
+              (count Lint.Error) (count Lint.Warning) (count Lint.Info)
+          end;
           if Lint.has_errors findings then
             Error
               (`Msg
@@ -715,7 +755,101 @@ let lint_cmd =
          "Static circuit diagnostics and device-legality findings; exits \
           nonzero when any error-severity finding fires.")
     Term.(
-      const run $ input $ device $ custom_map $ qubits $ rules $ list_rules)
+      const run $ input $ device $ custom_map $ qubits $ rules $ list_rules
+      $ json)
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Circuit file (.qasm, .qc, .real).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON document (per-gate rows, final state, partition, \
+             liveness, and the semantic lint findings in the same array \
+             format as $(b,qsc lint --json)).")
+  in
+  let run input json =
+    match circuit_of_file input with
+    | Error e -> Error e
+    | Ok c ->
+      let r = Absint.analyze c in
+      if json then begin
+        let module J = Trace.Json in
+        let basis b = J.String (Absint.Basis.to_string b) in
+        let opt_int = function None -> J.Null | Some i -> J.Int i in
+        let row (row : Absint.row) =
+          J.Obj
+            [
+              ("index", J.Int row.Absint.index);
+              ("gate", J.String (Gate.to_string row.Absint.gate));
+              ( "after",
+                J.List (Array.to_list (Array.map basis row.Absint.after)) );
+              ("classes", J.Int row.Absint.classes);
+              ( "fact",
+                match row.Absint.fact with
+                | Some f -> J.String (Absint.fact_to_string f)
+                | None -> J.Null );
+            ]
+        in
+        let liveness (l : Absint.wire_liveness) =
+          J.Obj
+            [
+              ("first_use", opt_int l.Absint.first_use);
+              ("last_use", opt_int l.Absint.last_use);
+              ("final", basis l.Absint.final);
+              ("restored", J.Bool l.Absint.restored);
+            ]
+        in
+        let doc =
+          J.Obj
+            [
+              ("schema", J.String "qsynth-analyze/v1");
+              ("input", J.String input);
+              ("n_qubits", J.Int r.Absint.n);
+              ("rows", J.List (List.map row r.Absint.rows));
+              ( "final",
+                J.List (Array.to_list (Array.map basis r.Absint.final)) );
+              ( "partition",
+                J.List
+                  (Array.to_list
+                     (Array.map (fun l -> J.Int l) r.Absint.partition)) );
+              ( "classes",
+                J.List
+                  (List.map
+                     (fun ws -> J.List (List.map (fun w -> J.Int w) ws))
+                     r.Absint.classes) );
+              ( "liveness",
+                J.List
+                  (Array.to_list (Array.map liveness r.Absint.liveness)) );
+              ("merges", J.Int r.Absint.merges);
+              ("findings", findings_to_json ~file:input (Lint.semantic c));
+            ]
+        in
+        print_endline (J.to_string ~pretty:true doc)
+      end
+      else begin
+        print_string (Absint.state_table r);
+        if r.Absint.rows <> [] then print_newline ();
+        print_string (Absint.summary r)
+      end;
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the abstract interpreter over a circuit: per-gate basis-state \
+          table, entanglement-partition evolution, ancilla liveness, and \
+          the facts it proves (dead gates, constant controls) under the \
+          all-|0> input assumption.")
+    Term.(const run $ input $ json)
 
 (* --- fuzz --- *)
 
@@ -1031,7 +1165,7 @@ let main =
   Cmd.group info
     [
       compile_cmd; devices_cmd; complexity_cmd; qmdd_cmd; check_cmd; lint_cmd;
-      fuzz_cmd; stats_cmd; run_cmd;
+      analyze_cmd; fuzz_cmd; stats_cmd; run_cmd;
     ]
 
 (* Exit-code boundary, implementing the README "Failure semantics"

@@ -24,6 +24,7 @@ type options = {
   router : router;
   pre_optimize : bool;
   post_optimize : bool;
+  fold_states : bool;
   use_placement : bool;
   verification : verification_mode;
   check_contracts : bool;
@@ -38,6 +39,7 @@ let default_options ~device =
     router = Ctr;
     pre_optimize = true;
     post_optimize = true;
+    fold_states = false;
     use_placement = false;
     verification = Qmdd_check { node_budget = Some 8_000_000 };
     check_contracts = false;
@@ -321,13 +323,20 @@ let compile_checked ?(trace = Trace.disabled) options input =
   in
   (* Contract audit points (--strict / check_contracts): each stage's
      postcondition is checked where it fired, not at the final QMDD
-     equivalence, so a broken pass names itself. *)
+     equivalence, so a broken pass names itself.  Every finding becomes
+     a structured diagnostic (kind [Contract_violation], so [compile]
+     still surfaces strict failures as [Lint.Contract.Violated]); the
+     first is fatal, the rest ride along as context. *)
   let contract stage findings =
     if options.check_contracts then
-      guard stage (fun () ->
-          Lint.Contract.enforce
-            ~stage:(Diagnostic.stage_to_string stage)
-            findings)
+      match findings with
+      | [] -> ()
+      | first :: rest ->
+        let conv f =
+          Lint.to_diagnostic ~kind:Diagnostic.Contract_violation ~stage f
+        in
+        List.iter (fun f -> warnings := conv f :: !warnings) rest;
+        raise (Abort (conv first))
   in
   let max_iterations = options.budgets.max_optimize_iterations in
   let optimize_outcome stage outcome =
@@ -520,6 +529,25 @@ let compile_checked ?(trace = Trace.disabled) options input =
     if unrouted = 0 then
       contract Diagnostic.Post_optimize
         (Lint.Contract.after_route device optimized);
+    (* State folding preserves the state prepared from |0...0>, not the
+       unitary — so the pipeline's unitary-equivalence verification
+       below runs against the pre-fold circuit, and the fold pass
+       answers for its own rewrites with its zero-state oracle. *)
+    let prefold = optimized in
+    let optimized =
+      if not options.fold_states then optimized
+      else begin
+        let fold =
+          guard Diagnostic.Post_optimize (fun () ->
+              Optimize.fold_known_states ~check:true ~trace optimized)
+        in
+        if not fold.Optimize.ok then
+          degrade Diagnostic.Post_optimize
+            "fold-states rewrite rejected by the zero-state oracle; pass \
+             skipped";
+        fold.Optimize.circuit
+      end
+    in
     let elapsed_seconds = wall_seconds_since t0 in
     let unoptimized_cost = Cost.evaluate cost unoptimized in
     let optimized_cost = Cost.evaluate cost optimized in
@@ -536,7 +564,7 @@ let compile_checked ?(trace = Trace.disabled) options input =
         else
           guard Diagnostic.Verify (fun () ->
               verify mode options ~trace ~route:route_for_verify ~native
-                ~unoptimized ~optimized reference)
+                ~unoptimized ~optimized:prefold reference)
     in
     (match verification with
     | Budget_exceeded -> degrade Diagnostic.Verify "QMDD node budget exhausted"

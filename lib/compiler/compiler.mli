@@ -100,6 +100,17 @@ type options = {
           {!Calibration.log_fidelity_cost} only apply after mapping) *)
   post_optimize : bool;  (** optimize the mapped circuit (the paper's
       headline optimization step) *)
+  fold_states : bool;
+      (** run {!Optimize.fold_known_states} after post-optimization:
+          delete gates the {!Absint} interpreter proves dead and demote
+          gates with proved-constant controls.  Sound only for circuits
+          run from |0...0> — it preserves the prepared state, not the
+          unitary — so it is off by default and the pipeline's
+          unitary-equivalence verification always compares against the
+          pre-fold circuit (the fold's own zero-state oracle covers the
+          rest; a rejected rewrite degrades the report and keeps the
+          pre-fold circuit).  [qsc compile --fold-states] turns it
+          on. *)
   use_placement : bool;
       (** choose an initial logical-to-physical qubit placement that
           shortens CTR SWAP paths (the paper's future-work

@@ -41,6 +41,7 @@ type kind =
   | Invalid_gate
   | Contract_violation
   | Verification_failed
+  | Lint_finding
   | Internal
 
 let kind_to_string = function
@@ -53,12 +54,14 @@ let kind_to_string = function
   | Invalid_gate -> "invalid-gate"
   | Contract_violation -> "contract-violation"
   | Verification_failed -> "verification-failed"
+  | Lint_finding -> "lint"
   | Internal -> "internal"
 
 let all_kinds =
   [
     Parse; Io; Unsupported; Capacity; Unroutable; Budget_exhausted;
-    Invalid_gate; Contract_violation; Verification_failed; Internal;
+    Invalid_gate; Contract_violation; Verification_failed; Lint_finding;
+    Internal;
   ]
 
 let kind_of_string s = List.find_opt (fun k -> kind_to_string k = s) all_kinds

@@ -45,6 +45,7 @@ type kind =
                       out-of-range wire *)
   | Contract_violation  (** a pass broke its postcondition (strict mode) *)
   | Verification_failed  (** the output provably differs from the input *)
+  | Lint_finding  (** a lint rule fired (see {!Lint.to_diagnostic}) *)
   | Internal  (** an unexpected exception; a bug, but a reported one *)
 
 val kind_to_string : kind -> string

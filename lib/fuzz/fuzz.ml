@@ -715,6 +715,180 @@ module Property = struct
         | _ -> wrong_case "compile-checked-total");
     }
 
+  (* 11. Soundness of the abstract interpreter (lib/absint): every fact
+     it proves about a random circuit — per-gate basis states, dead and
+     demoted gates, the final entanglement partition — must hold in the
+     dense simulator on the state prepared from |0...0>.  The analysis
+     is allowed to be imprecise (answer Unknown), never wrong. *)
+  let absint_sound =
+    let eps = 1e-6 in
+    let bit n q idx = (idx lsr (n - 1 - q)) land 1 in
+    (* psi is proportional to (alpha|0> + beta|1>)_q (x) rest: the
+       cross-multiplication test is insensitive to global phase,
+       matching the interpreter's ray semantics for Known states. *)
+    let holds_on_wire ~n psi q s =
+      let alpha, beta = Absint.Basis.amplitudes s in
+      let step = 1 lsl (n - 1 - q) in
+      let ok = ref true in
+      Array.iteri
+        (fun idx v ->
+          if bit n q idx = 0 then
+            let lhs = Mathkit.Cx.mul beta v
+            and rhs = Mathkit.Cx.mul alpha psi.(idx + step) in
+            if Mathkit.Cx.norm (Mathkit.Cx.sub lhs rhs) > eps then ok := false)
+        psi;
+      !ok
+    in
+    let known_states_hold ~n psi after =
+      let bad = ref None in
+      Array.iteri
+        (fun q v ->
+          match v with
+          | Absint.Basis.Known s ->
+            if !bad = None && not (holds_on_wire ~n psi q s) then
+              bad := Some (q, s)
+          | Absint.Basis.Unknown | Absint.Basis.Bot -> ())
+        after;
+      !bad
+    in
+    (* A claimed-separable class must give a rank-1 state matrix
+       M[class bits][rest bits]: pivot on the largest entry and check
+       every 2x2 minor against it. *)
+    let class_separable ~n psi ws =
+      let k = List.length ws in
+      if k = 0 || k = n then true
+      else begin
+        let rest =
+          List.filter (fun q -> not (List.mem q ws)) (List.init n Fun.id)
+        in
+        let dim_a = 1 lsl k and dim_b = 1 lsl (n - k) in
+        let index a b =
+          let idx = ref 0 in
+          List.iteri
+            (fun i q ->
+              if (a lsr (k - 1 - i)) land 1 = 1 then
+                idx := !idx lor (1 lsl (n - 1 - q)))
+            ws;
+          List.iteri
+            (fun i q ->
+              if (b lsr (n - k - 1 - i)) land 1 = 1 then
+                idx := !idx lor (1 lsl (n - 1 - q)))
+            rest;
+          !idx
+        in
+        let m a b = psi.(index a b) in
+        let pa = ref 0 and pb = ref 0 and best = ref 0.0 in
+        for a = 0 to dim_a - 1 do
+          for b = 0 to dim_b - 1 do
+            let w = Mathkit.Cx.norm (m a b) in
+            if w > !best then begin
+              best := w;
+              pa := a;
+              pb := b
+            end
+          done
+        done;
+        if !best <= eps then true
+        else begin
+          let ok = ref true in
+          let pivot = m !pa !pb in
+          for a = 0 to dim_a - 1 do
+            for b = 0 to dim_b - 1 do
+              let minor =
+                Mathkit.Cx.sub
+                  (Mathkit.Cx.mul (m a b) pivot)
+                  (Mathkit.Cx.mul (m a !pb) (m !pa b))
+              in
+              if Mathkit.Cx.norm minor > eps then ok := false
+            done
+          done;
+          !ok
+        end
+      end
+    in
+    let max_diff a b =
+      let d = ref 0.0 in
+      Array.iteri
+        (fun i v -> d := Float.max !d (Mathkit.Cx.norm (Mathkit.Cx.sub v b.(i))))
+        a;
+      !d
+    in
+    {
+      name = "absint-sound";
+      doc = "every Absint fact (state, dead, demoted, partition) holds in Sim";
+      paper = "Sec. 4 (known-state folding soundness)";
+      gen =
+        (fun cfg st ->
+          let c =
+            Gen.circuit ~max_qubits:(min 6 cfg.max_qubits)
+              ~max_gates:cfg.max_gates st
+          in
+          Circuit_case { circuit = c; device = None; budget = None });
+      check =
+        (function
+        | Circuit_case { circuit = c; _ } ->
+          let n = Circuit.n_qubits c in
+          let r = Absint.analyze c in
+          let psi = ref (Sim.basis_state ~n 0) in
+          let failure = ref None in
+          let fail fmt =
+            Printf.ksprintf
+              (fun s -> if !failure = None then failure := Some s)
+              fmt
+          in
+          List.iter
+            (fun (row : Absint.row) ->
+              if !failure = None then begin
+                let before = !psi in
+                let after_psi = Sim.apply_gate ~n row.Absint.gate before in
+                (match row.Absint.fact with
+                | Some (Absint.Dead reason) ->
+                  let moved = max_diff after_psi before in
+                  if moved > eps then
+                    fail
+                      "gate %d (%s) claimed dead (%s) but moved the state by \
+                       %g"
+                      row.Absint.index
+                      (Gate.to_string row.Absint.gate)
+                      reason moved
+                | Some (Absint.Demoted (body, reason)) ->
+                  let via_body =
+                    List.fold_left
+                      (fun acc g -> Sim.apply_gate ~n g acc)
+                      before body
+                  in
+                  let diff = max_diff after_psi via_body in
+                  if diff > eps then
+                    fail
+                      "gate %d (%s) claimed to act as [%s] (%s) but differs \
+                       by %g"
+                      row.Absint.index
+                      (Gate.to_string row.Absint.gate)
+                      (String.concat "; " (List.map Gate.to_string body))
+                      reason diff
+                | None -> ());
+                psi := after_psi;
+                match known_states_hold ~n after_psi row.Absint.after with
+                | Some (q, s) ->
+                  fail "after gate %d (%s): q%d is not in the claimed state %s"
+                    row.Absint.index
+                    (Gate.to_string row.Absint.gate)
+                    q
+                    (Absint.Basis.state_to_string s)
+                | None -> ()
+              end)
+            r.Absint.rows;
+          if !failure = None then
+            List.iter
+              (fun ws ->
+                if not (class_separable ~n !psi ws) then
+                  fail "final partition class %s is not separable"
+                    (Absint.class_to_string ws))
+              r.Absint.classes;
+          (match !failure with None -> Pass | Some msg -> Fail msg)
+        | _ -> wrong_case "absint-sound");
+    }
+
   let all =
     [
       compile_sim_equivalent;
@@ -727,6 +901,7 @@ module Property = struct
       place_invariance;
       esop_cascade;
       compile_checked_total;
+      absint_sound;
     ]
 
   let find name = List.find_opt (fun p -> p.name = name) all

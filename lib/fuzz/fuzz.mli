@@ -133,7 +133,8 @@ module Property : sig
       compile-sim-equivalent, compile-qmdd-equivalent,
       optimize-preserves-unitary, route-legal,
       route-budget-accounting, qasm-roundtrip, qc-roundtrip,
-      place-invariance, esop-cascade, compile-checked-total. *)
+      place-invariance, esop-cascade, compile-checked-total,
+      absint-sound. *)
   val all : t list
 
   (** [find name] looks a property up by {!t.name}. *)

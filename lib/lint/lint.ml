@@ -11,12 +11,17 @@ module Rule = struct
     | Cnot_uncoupled
     | Width_exceeds_device
     | Volume_increase
+    | Dead_gate
+    | Constant_control
+    | Dirty_ancilla
+    | Separable_register
 
   let all =
     [
       Inverse_pair; Zero_angle; Non_finite_angle; Overlapping_qubits;
       Unused_qubit; Width_mismatch; Non_native_gate; Cnot_direction;
-      Cnot_uncoupled; Width_exceeds_device; Volume_increase;
+      Cnot_uncoupled; Width_exceeds_device; Volume_increase; Dead_gate;
+      Constant_control; Dirty_ancilla; Separable_register;
     ]
 
   let code = function
@@ -31,6 +36,10 @@ module Rule = struct
     | Cnot_uncoupled -> "cnot-uncoupled"
     | Width_exceeds_device -> "width-exceeds-device"
     | Volume_increase -> "volume-increase"
+    | Dead_gate -> "dead-gate"
+    | Constant_control -> "constant-control"
+    | Dirty_ancilla -> "dirty-ancilla"
+    | Separable_register -> "separable-register"
 
   let of_code s = List.find_opt (fun r -> code r = s) all
 
@@ -48,6 +57,14 @@ module Rule = struct
     | Cnot_uncoupled -> "CNOT on an uncoupled qubit pair (needs routing)"
     | Width_exceeds_device -> "circuit register larger than the device"
     | Volume_increase -> "gate volume grew across an optimization stage"
+    | Dead_gate ->
+      "gate provably leaves the state unchanged (e.g. CNOT with a |0> control)"
+    | Constant_control ->
+      "control wire proved constant; the gate acts as its uncontrolled body"
+    | Dirty_ancilla ->
+      "wire provably left in a non-|0> state (never uncomputed)"
+    | Separable_register ->
+      "the register provably factors into unentangled wire groups"
 end
 
 type severity = Error | Warning | Info
@@ -197,9 +214,88 @@ let device_legal ?rules d c =
 
 let is_device_legal d c = device_legal d c = []
 
+(* The semantic tier: findings proved by the abstract interpreter, under
+   its standing assumption that every wire starts in |0>.  Kept out of
+   [check] so the purely syntactic walk stays assumption-free; the
+   combined [lint] entry point and the CLI run both tiers. *)
+let semantic ?rules c =
+  let on = enabled rules in
+  let wanted =
+    [ Rule.Dead_gate; Rule.Constant_control; Rule.Dirty_ancilla;
+      Rule.Separable_register ]
+  in
+  if not (List.exists on wanted) then []
+  else begin
+    let r = Absint.analyze c in
+    let findings = ref [] in
+    let add severity gate_index rule message =
+      findings := { severity; gate_index; rule; message } :: !findings
+    in
+    List.iter
+      (fun row ->
+        match row.Absint.fact with
+        | Some (Absint.Dead reason) ->
+          if on Rule.Dead_gate then
+            add Warning (Some row.Absint.index) Rule.Dead_gate
+              (Printf.sprintf "%s provably acts as the identity (%s)"
+                 (Gate.to_string row.Absint.gate) reason)
+        | Some (Absint.Demoted (body, reason)) ->
+          if on Rule.Constant_control then
+            add Warning (Some row.Absint.index) Rule.Constant_control
+              (Printf.sprintf "%s provably acts as [%s] (%s)"
+                 (Gate.to_string row.Absint.gate)
+                 (String.concat "; " (List.map Gate.to_string body))
+                 reason)
+        | None -> ())
+      r.Absint.rows;
+    if on Rule.Dirty_ancilla then
+      Array.iteri
+        (fun q (l : Absint.wire_liveness) ->
+          match (l.Absint.first_use, l.Absint.final) with
+          | Some _, Absint.Basis.Known s when s <> Absint.Basis.Zero ->
+            add Info None Rule.Dirty_ancilla
+              (Printf.sprintf
+                 "q%d starts in |0> but provably ends in %s; uncompute it \
+                  before releasing the wire"
+                 q
+                 (Absint.Basis.state_to_string s))
+          | _ -> ())
+        r.Absint.liveness;
+    if on Rule.Separable_register && List.length r.Absint.classes > 1 then
+      add Info None Rule.Separable_register
+        (Printf.sprintf
+           "the register provably factors into %d unentangled groups: %s"
+           (List.length r.Absint.classes)
+           (String.concat " " (List.map Absint.class_to_string r.Absint.classes)));
+    List.rev !findings
+  end
+
 let lint ?rules ?device c =
-  check ?rules c
+  check ?rules c @ semantic ?rules c
   @ match device with None -> [] | Some d -> device_legal ?rules d c
+
+(* Where each rule's finding lands in the diagnostic taxonomy when it is
+   promoted to a pipeline-level report.  Callers with a more specific
+   context (strict-mode contracts) override through [?kind]. *)
+let default_kind = function
+  | Rule.Overlapping_qubits | Rule.Non_finite_angle -> Diagnostic.Invalid_gate
+  | Rule.Width_exceeds_device -> Diagnostic.Capacity
+  | Rule.Cnot_direction | Rule.Cnot_uncoupled -> Diagnostic.Unroutable
+  | Rule.Non_native_gate -> Diagnostic.Unsupported
+  | Rule.Inverse_pair | Rule.Zero_angle | Rule.Unused_qubit
+  | Rule.Width_mismatch | Rule.Volume_increase | Rule.Dead_gate
+  | Rule.Constant_control | Rule.Dirty_ancilla | Rule.Separable_register ->
+    Diagnostic.Lint_finding
+
+let to_diagnostic ?file ?kind ~stage f =
+  let build =
+    match f.severity with
+    | Error -> Diagnostic.error
+    | Warning | Info -> Diagnostic.warning
+  in
+  build ?file ?line:None ~stage
+    ~kind:(match kind with Some k -> k | None -> default_kind f.rule)
+    (finding_to_string f)
 
 module Contract = struct
   exception Violated of string

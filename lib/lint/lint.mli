@@ -1,12 +1,18 @@
 (** Static verification of circuits and of the compiler pipeline.
 
-    Three cooperating analyzers over the {!Circuit.t} IR, none of which
+    Four cooperating analyzers over the {!Circuit.t} IR, none of which
     simulates anything:
 
     - {e circuit diagnostics} ({!check}): a gate-indexed walk flagging
       suspicious-but-representable constructions — adjacent
       inverse pairs, zero-angle rotations, gates whose control and
       target overlap, unused register wires, declared-width padding;
+    - {e semantic diagnostics} ({!semantic}): findings proved by the
+      {!Absint} forward dataflow pass under the |0...0>-input
+      assumption — gates that provably do nothing, controls proved
+      constant, ancillas never uncomputed, registers that provably
+      factor.  Still no simulation: the interpreter is polynomial in
+      gates x wires;
     - {e device legality} ({!device_legal}): proof that a circuit is
       executable as-is on a {!Device.t} — native library only, every
       CNOT on an {e allowed directed} coupling, register within the
@@ -56,6 +62,21 @@ module Rule : sig
     | Volume_increase
         (** an optimization stage handed over more gates than it
             received (contract rule; never raised by {!check}) *)
+    | Dead_gate
+        (** semantic: the gate provably leaves the state prepared from
+            |0...0> exactly unchanged — a CNOT whose control is proved
+            |0>, Z on a wire proved |0>, X on a wire proved |+> *)
+    | Constant_control
+        (** semantic: every control is proved constant, so the gate
+            provably acts as a cheaper body (CNOT with a |1> control
+            acts as X; by phase kickback, a CNOT onto a proved |->
+            target acts as Z on its control) *)
+    | Dirty_ancilla
+        (** semantic: a touched wire provably ends in a non-|0> state —
+            an ancilla that was never uncomputed *)
+    | Separable_register
+        (** semantic: the final entanglement partition has more than
+            one class — the circuit provably factors *)
 
   val all : t list
 
@@ -90,10 +111,20 @@ val pp_finding : Format.formatter -> finding -> unit
     exit-code predicate of [qsc lint]. *)
 val has_errors : finding list -> bool
 
-(** [check ?rules c] runs the circuit diagnostics (the first five rules
-    of {!Rule.t}); device rules in [rules] are ignored.  Findings come
-    out in gate order.  Default: all rules. *)
+(** [check ?rules c] runs the {e syntactic} circuit diagnostics (the
+    first five rules of {!Rule.t}); semantic and device rules in
+    [rules] are ignored.  Findings come out in gate order.  Default:
+    all rules. *)
 val check : ?rules:Rule.t list -> Circuit.t -> finding list
+
+(** [semantic ?rules c] runs the {!Absint} interpreter and reports the
+    semantic rules ({!Rule.Dead_gate}, {!Rule.Constant_control} as
+    [Warning]; {!Rule.Dirty_ancilla}, {!Rule.Separable_register} as
+    [Info]).  All findings are theorems about the state prepared from
+    |0...0> — on a circuit meant as a general unitary (arbitrary input
+    states) they are advisory.  Skips the analysis entirely when
+    [rules] enables none of the four.  Default: all rules. *)
+val semantic : ?rules:Rule.t list -> Circuit.t -> finding list
 
 (** [device_legal ?rules d c] statically certifies [c] against [d]:
     the empty list means every gate is in the native {e 1-qubit + CNOT}
@@ -107,9 +138,22 @@ val device_legal : ?rules:Rule.t list -> Device.t -> Circuit.t -> finding list
     say {e which} gate fails and {e why}. *)
 val is_device_legal : Device.t -> Circuit.t -> bool
 
-(** [lint ?rules ?device c] is {!check} plus, when [device] is given,
-    {!device_legal}. *)
+(** [lint ?rules ?device c] is {!check} plus {!semantic} plus, when
+    [device] is given, {!device_legal}. *)
 val lint : ?rules:Rule.t list -> ?device:Device.t -> Circuit.t -> finding list
+
+(** [to_diagnostic ?file ?kind ~stage f] promotes a finding to a
+    pipeline {!Diagnostic.t}.  Total: every rule maps to a diagnostic
+    kind (structural rules to their natural kinds — [Invalid_gate],
+    [Capacity], [Unroutable], [Unsupported] — everything else to
+    {!Diagnostic.Lint_finding}); [kind] overrides the mapping (the
+    compiler's strict mode passes [Contract_violation]).  [Error]
+    findings become [Error] diagnostics; [Warning] and [Info] both
+    become [Warning] (diagnostics have no third level).  The message is
+    {!finding_to_string}, so the rule code and gate index survive. *)
+val to_diagnostic :
+  ?file:string -> ?kind:Diagnostic.kind -> stage:Diagnostic.stage ->
+  finding -> Diagnostic.t
 
 (** Pre/postconditions of the compiler pipeline — the auditable
     handoffs between stages of the paper's Fig. 2 flow. *)

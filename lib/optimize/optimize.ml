@@ -343,3 +343,82 @@ let optimize_budgeted ?device ?(cost = Cost.eqn2) ?(trace = Trace.disabled)
 
 let optimize ?device ?cost ?trace ?stage c =
   (optimize_budgeted ?device ?cost ?trace ?stage c).circuit
+
+(* ---- abstract-state folding ------------------------------------------ *)
+
+type fold_outcome = {
+  circuit : Circuit.t;
+  deleted : int;
+  demoted : int;
+  checked : bool;
+  ok : bool;
+}
+
+(* Do [a] and [b] prepare the same state from |0...0>?  Exact comparison
+   (no up-to-phase allowance): every fold rewrite claims amplitude +1.
+   Dense simulation while the state vector fits in memory; the QMDD
+   engine above that — basis-state evolution keeps rank-1 diagrams
+   compact even on the 96-qubit cascades. *)
+let same_zero_state a b =
+  let n = Circuit.n_qubits a in
+  if n <= Sim.max_unitary_qubits then begin
+    let sa = Sim.run a (Sim.basis_state ~n 0) in
+    let sb = Sim.run b (Sim.basis_state ~n 0) in
+    let ok = ref true in
+    Array.iteri
+      (fun i va ->
+        if Mathkit.Cx.norm (Mathkit.Cx.sub va sb.(i)) > 1e-9 then ok := false)
+      sa;
+    !ok
+  end
+  else begin
+    let m = Qmdd.create ~n in
+    let from = Array.make n false in
+    Qmdd.equal (Qmdd.run_basis m a ~from) (Qmdd.run_basis m b ~from)
+  end
+
+let fold_known_states ?(check = true) ?(trace = Trace.disabled) c =
+  let span = Trace.start trace "fold-states" in
+  let finish outcome =
+    Trace.stop trace span
+      ~counters:
+        [
+          ("deleted", float_of_int outcome.deleted);
+          ("demoted", float_of_int outcome.demoted);
+          ("checked", if outcome.checked then 1.0 else 0.0);
+          ("ok", if outcome.ok then 1.0 else 0.0);
+        ]
+      ();
+    outcome
+  in
+  let r = Absint.analyze c in
+  if r.Absint.dead = [] && r.Absint.demoted = [] then
+    finish { circuit = c; deleted = 0; demoted = 0; checked = false; ok = true }
+  else begin
+    let dead = Hashtbl.create 16 and demote = Hashtbl.create 16 in
+    List.iter (fun (i, _, _) -> Hashtbl.replace dead i ()) r.Absint.dead;
+    List.iter
+      (fun (i, _, body, _) -> Hashtbl.replace demote i body)
+      r.Absint.demoted;
+    let gates =
+      List.concat
+        (List.mapi
+           (fun i g ->
+             if Hashtbl.mem dead i then []
+             else
+               match Hashtbl.find_opt demote i with
+               | Some body -> body
+               | None -> [ g ])
+           (Circuit.gates c))
+    in
+    let folded = Circuit.make ~n:(Circuit.n_qubits c) gates in
+    let deleted = Hashtbl.length dead and demoted = Hashtbl.length demote in
+    if not check then
+      finish { circuit = folded; deleted; demoted; checked = false; ok = true }
+    else if same_zero_state c folded then
+      finish { circuit = folded; deleted; demoted; checked = true; ok = true }
+    else
+      (* The oracle rejected a rewrite: an interpreter bug.  Keep the
+         input — the pass must never be the place correctness dies. *)
+      finish { circuit = c; deleted = 0; demoted = 0; checked = true; ok = false }
+  end

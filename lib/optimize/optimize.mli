@@ -96,3 +96,37 @@ val optimize :
   ?stage:string ->
   Circuit.t ->
   Circuit.t
+
+(** What {!fold_known_states} did. *)
+type fold_outcome = {
+  circuit : Circuit.t;
+  deleted : int;  (** gates removed as provably dead *)
+  demoted : int;  (** gates replaced by a cheaper proved-equivalent body *)
+  checked : bool;  (** the oracle ran (facts found and [check] was on) *)
+  ok : bool;  (** the oracle accepted; [false] reverts to the input *)
+}
+
+(** [fold_known_states ?check ?trace c] rewrites [c] using the facts the
+    {!Absint} interpreter proves about the state prepared from |0...0>:
+    gates reported dead are deleted, gates with constant controls are
+    demoted to their uncontrolled bodies (CNOT with a proved-|1> control
+    becomes X; by phase kickback, a CNOT onto a proved |-> target
+    becomes Z on its control).
+
+    Unlike every other pass in this module, the result preserves the
+    {e prepared state}, not the full unitary — running the folded
+    circuit from any input other than |0...0> may differ.  That is why
+    the pass is off by default in {!Compiler.compile} (the [--fold-states]
+    flag turns it on) and why the pipeline's unitary-equivalence
+    verification compares against the pre-fold circuit.
+
+    With [check] (the default), the folded circuit is re-validated
+    against the input by an exact zero-input-state oracle — dense
+    simulation up to {!Sim.max_unitary_qubits} wires, QMDD basis-state
+    evolution beyond — and on rejection the input comes back unchanged
+    with [ok = false].  Demotions only introduce gates from the NOT/Z
+    families on wires the original gate touched, so a device-legal
+    native circuit stays device-legal.  Records a ["fold-states"] span
+    with deleted/demoted counters on [trace]. *)
+val fold_known_states :
+  ?check:bool -> ?trace:Trace.t -> Circuit.t -> fold_outcome

@@ -42,6 +42,16 @@ let test_exit_0_success () =
       check_int "check (self)" 0
         (run
            (Printf.sprintf "check %s %s" (Filename.quote good)
+              (Filename.quote good)));
+      check_int "lint --json" 0
+        (run (Printf.sprintf "lint %s --json" (Filename.quote good)));
+      check_int "analyze" 0
+        (run (Printf.sprintf "analyze %s" (Filename.quote good)));
+      check_int "analyze --json" 0
+        (run (Printf.sprintf "analyze %s --json" (Filename.quote good)));
+      check_int "compile --fold-states" 0
+        (run
+           (Printf.sprintf "compile -d ibmqx4 --fold-states %s"
               (Filename.quote good))));
   check_int "fuzz --list" 0 (run "fuzz --list");
   check_int "fuzz (clean tree)" 0

@@ -25,6 +25,7 @@ let all_kinds =
     Diagnostic.Invalid_gate;
     Diagnostic.Contract_violation;
     Diagnostic.Verification_failed;
+    Diagnostic.Lint_finding;
     Diagnostic.Internal;
   ]
 
