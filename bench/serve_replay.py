@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Replay the benchmark suite through a running `qsc serve` daemon.
+
+Connects to the daemon's Unix socket, compiles every circuit under
+benchmarks/{qc,revlib,pla} twice against one device, and checks the
+serve contract end to end:
+
+  * every response is a well-formed qsynth-serve/v1 envelope whose
+    "code" obeys the exit contract (0 / 123 / 124 / 125, ok iff 0);
+  * scrubbed reports are deterministic: the second pass of each
+    benchmark is byte-identical to the first;
+  * the content-addressed cache works: the second pass is served
+    almost entirely from cache (>= 90% hits, measured via the "stats"
+    verb before and after);
+  * the "batch" verb maps malformed entries to the documented failure
+    codes (123 reported failure / 124 protocol misuse), never 125 and
+    never a dropped connection.
+
+Usage: python3 bench/serve_replay.py SOCKET_PATH [DEVICE]
+
+Exits 0 on success, 1 on any contract violation.  The daemon is left
+running (shutdown is the caller's job, so one daemon can serve several
+checks).
+"""
+
+import json
+import os
+import socket
+import sys
+
+PROTOCOL = "qsynth-serve/v1"
+FORMATS = {".qc": "qc", ".real": "real", ".pla": "pla", ".qasm": "qasm"}
+BENCH_DIRS = ("benchmarks/qc", "benchmarks/revlib", "benchmarks/pla")
+
+failures = 0
+
+
+def fail(msg):
+    global failures
+    failures += 1
+    print(f"FAIL: {msg}", file=sys.stderr)
+
+
+class Client:
+    """One line-oriented protocol connection."""
+
+    def __init__(self, path):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(120.0)
+        self.sock.connect(path)
+        self.reader = self.sock.makefile("r", encoding="utf-8")
+
+    def request(self, obj):
+        self.sock.sendall((json.dumps(obj) + "\n").encode("utf-8"))
+        line = self.reader.readline()
+        if not line:
+            raise RuntimeError("connection closed mid-request")
+        return json.loads(line)
+
+    def close(self):
+        self.reader.close()
+        self.sock.close()
+
+
+def check_envelope(resp, what):
+    if resp.get("protocol") != PROTOCOL:
+        fail(f"{what}: bad protocol field {resp.get('protocol')!r}")
+    code = resp.get("code")
+    if code not in (0, 123, 124, 125):
+        fail(f"{what}: code {code!r} outside the exit contract")
+    if resp.get("ok") != (code == 0):
+        fail(f"{what}: ok={resp.get('ok')!r} inconsistent with code={code!r}")
+    return code
+
+
+def benchmark_files(root):
+    files = []
+    for d in BENCH_DIRS:
+        full = os.path.join(root, d)
+        for name in sorted(os.listdir(full)):
+            ext = os.path.splitext(name)[1]
+            if ext in FORMATS:
+                files.append((os.path.join(full, name), FORMATS[ext]))
+    return files
+
+
+def get_stats(client):
+    resp = client.request({"op": "stats"})
+    check_envelope(resp, "stats")
+    return resp["stats"]
+
+
+def replay_pass(client, files, device, label):
+    """Compile every benchmark once; return {path: canonical report}."""
+    reports = {}
+    for path, fmt in files:
+        with open(path, encoding="utf-8") as f:
+            source = f.read()
+        resp = client.request(
+            {
+                "op": "compile",
+                "id": f"{label}:{os.path.basename(path)}",
+                "source": source,
+                "format": fmt,
+                "device": device,
+            }
+        )
+        code = check_envelope(resp, f"{label} {path}")
+        # 123 (e.g. a circuit too wide for the device) is a legal
+        # outcome; 124/125 on a well-formed benchmark request is not.
+        if code not in (0, 123):
+            fail(f"{label} {path}: unexpected code {code}")
+        # Canonical, envelope-free view: cached hits must be
+        # byte-identical to the miss that populated them.
+        body = {k: v for k, v in resp.items() if k not in ("id", "seconds", "cached")}
+        reports[path] = json.dumps(body, sort_keys=True)
+    return reports
+
+
+def check_malformed_batch(client):
+    """Malformed entries through the batch verb: each lane must come
+    back with a structured 123/124 payload and the envelope must
+    aggregate to the worst lane."""
+    bad = [
+        {},  # no device, no source -> 123 missing field
+        {"source": "qreg", "device": "no-such-device"},  # -> 124
+        {"source": 42, "device": "ibmqx4"},  # wrong type -> 124
+        {"source": "not qasm at all", "device": "ibmqx4"},  # -> 123 parse
+        {"source": "", "device": "ibmqx4", "options": {"bogus": 1}},  # -> 124
+    ]
+    resp = client.request({"op": "batch", "id": "malformed", "requests": bad})
+    code = check_envelope(resp, "malformed batch")
+    results = resp.get("results", [])
+    if len(results) != len(bad):
+        fail(f"malformed batch: {len(results)} results for {len(bad)} requests")
+    worst = 0
+    for i, entry in enumerate(results):
+        ec = entry.get("code")
+        if ec not in (123, 124):
+            fail(f"malformed batch entry {i}: code {ec!r}, want 123 or 124")
+        if entry.get("status") != "error" or not entry.get("diagnostics"):
+            fail(f"malformed batch entry {i}: missing structured diagnostics")
+        worst = max(worst, ec if isinstance(ec, int) else 125)
+    if code != worst:
+        fail(f"malformed batch: envelope code {code} != worst lane {worst}")
+    if resp.get("failed") != len(bad):
+        fail(f"malformed batch: failed={resp.get('failed')}, want {len(bad)}")
+    print(f"malformed batch ok: {len(bad)}/{len(bad)} structured failures")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    sock_path = sys.argv[1]
+    device = sys.argv[2] if len(sys.argv) > 2 else "ibmqx5"
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+    files = benchmark_files(root)
+    if not files:
+        fail("no benchmark files found")
+        return 1
+
+    client = Client(sock_path)
+    try:
+        ping = client.request({"op": "ping", "id": "replay"})
+        check_envelope(ping, "ping")
+
+        first = replay_pass(client, files, device, "pass1")
+        before = get_stats(client)
+        second = replay_pass(client, files, device, "pass2")
+        after = get_stats(client)
+
+        for path in first:
+            if first[path] != second[path]:
+                fail(f"{path}: second-pass report differs from first")
+
+        hits = after["cache"]["hits"] - before["cache"]["hits"]
+        n = len(files)
+        print(f"second pass: {hits}/{n} cache hits")
+        if hits < 0.9 * n:
+            fail(f"cache hit rate {hits}/{n} below the 90% floor")
+
+        check_malformed_batch(client)
+    finally:
+        client.close()
+
+    if failures:
+        print(f"{failures} contract violation(s)", file=sys.stderr)
+        return 1
+    print(f"serve replay ok: {len(files)} benchmarks x2 on {device}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

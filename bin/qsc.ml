@@ -8,7 +8,8 @@
      check       formally compare two circuit files
      lint        static diagnostics and device-legality findings
      analyze     abstract-interpretation state table and proved facts
-     fuzz        metamorphic property-fuzz the whole pipeline *)
+     fuzz        metamorphic property-fuzz the whole pipeline
+     serve       persistent compile service with a report cache *)
 
 open Cmdliner
 
@@ -1155,6 +1156,92 @@ let run_cmd =
           register width for classical-outcome circuits).")
     Term.(const run $ input $ start $ query)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv).")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Listen on loopback TCP (127.0.0.1) port $(docv).")
+  in
+  let cache_size =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:
+            "Report-cache capacity in entries (LRU eviction past it; 0 \
+             disables caching).")
+  in
+  let max_deadline =
+    Arg.(
+      value & opt float 60.0
+      & info [ "max-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget ceiling per request; requests asking for \
+             more are clamped, requests asking for nothing get this.")
+  in
+  let max_requests =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:
+            "Stop after answering $(docv) requests (bounded runs for tests \
+             and CI; default: serve until a shutdown request).")
+  in
+  let run socket port cache_size max_deadline max_requests =
+    let address =
+      match (socket, port) with
+      | Some path, None -> Ok (Serve.Unix_socket path)
+      | None, Some p -> Ok (Serve.Tcp { host = "127.0.0.1"; port = p })
+      | None, None -> Error (`Msg "choose a transport: --socket or --port")
+      | Some _, Some _ -> Error (`Msg "--socket and --port are exclusive")
+    in
+    match address with
+    | Error e -> Error e
+    | Ok address ->
+      if cache_size < 0 then Error (`Msg "--cache-size must be >= 0")
+      else if max_deadline <= 0.0 then
+        Error (`Msg "--max-deadline must be positive")
+      else begin
+        let daemon =
+          Serve.create ~cache_capacity:cache_size
+            ~max_deadline_seconds:max_deadline ()
+        in
+        (* Readiness line on stdout: harnesses wait for it before
+           connecting. *)
+        Printf.printf "qsynth-serve/v1 listening on %s\n%!"
+          (Serve.address_to_string address);
+        Serve.serve ?max_requests daemon address;
+        let requests, hits, misses, evictions, size = Serve.stats daemon in
+        Printf.printf
+          "served %d request(s); cache: %d hit(s), %d miss(es), %d \
+           eviction(s), %d resident\n\
+           %!"
+          requests hits misses evictions size;
+        Ok ()
+      end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent compile service: newline-delimited JSON \
+          (qsynth-serve/v1) over a Unix-domain or loopback TCP socket, \
+          with a content-addressed LRU cache of compile reports.  \
+          Responses carry a \"code\" field mirroring the exit contract: 0 \
+          success, 123 reported failure, 124 protocol misuse, 125 internal \
+          error.  See the README \"Serving\" section for the protocol.")
+    Term.(const run $ socket $ port $ cache_size $ max_deadline $ max_requests)
+
 let main =
   let info =
     Cmd.info "qsc" ~version:"1.0.0"
@@ -1165,7 +1252,7 @@ let main =
   Cmd.group info
     [
       compile_cmd; devices_cmd; complexity_cmd; qmdd_cmd; check_cmd; lint_cmd;
-      analyze_cmd; fuzz_cmd; stats_cmd; run_cmd;
+      analyze_cmd; fuzz_cmd; stats_cmd; run_cmd; serve_cmd;
     ]
 
 (* Exit-code boundary, implementing the README "Failure semantics"

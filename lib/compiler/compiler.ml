@@ -98,10 +98,11 @@ let front_end = function
    optimized.  The three diagrams stay small where the single-shot
    miter explodes; chaining the equivalences gives
    reference = optimized. *)
-let verify_staged ~node_budget ~qmdd_stats ~route device native unoptimized
-    optimized reference =
+let verify_staged ~node_budget ~deadline_ns ~qmdd_stats ~route device native
+    unoptimized optimized reference =
   let eq a b =
-    Qmdd.equivalent ~up_to_phase:false ?node_budget ?stats:qmdd_stats a b
+    Qmdd.equivalent ~up_to_phase:false ?node_budget ?deadline_ns
+      ?stats:qmdd_stats a b
   in
   let n = Device.n_qubits device in
   let blocks =
@@ -127,12 +128,17 @@ let verify_staged ~node_budget ~qmdd_stats ~route device native unoptimized
   else if eq unoptimized optimized then Verified_staged
   else Mismatch
 
-let verify mode options ~trace ~route ~native ~unoptimized ~optimized
-    reference =
+let verify mode options ~trace ~deadline_ns ~route ~native ~unoptimized
+    ~optimized reference =
   (* [fallback = Some k]: chase an inconclusive QMDD outcome down the
      resilience chain — staged proof, then the dense simulator oracle
      for registers of at most [k] qubits, then [Unverified] with the
      reason — never an exception. *)
+  let past_deadline () =
+    match deadline_ns with
+    | None -> false
+    | Some d -> Int64.compare (Trace.now_ns ()) d >= 0
+  in
   let run ~node_budget ~fallback =
     let sp = Trace.start trace "verify" in
     let t0 = Trace.now_ns () in
@@ -160,8 +166,8 @@ let verify mode options ~trace ~route ~native ~unoptimized ~optimized
     in
     let direct () =
       match
-        Qmdd.equivalent ~up_to_phase:false ?node_budget ?stats:qmdd_stats
-          reference optimized
+        Qmdd.equivalent ~up_to_phase:false ?node_budget ?deadline_ns
+          ?stats:qmdd_stats reference optimized
       with
       | true -> Verified
       | false -> Mismatch
@@ -178,8 +184,8 @@ let verify mode options ~trace ~route ~native ~unoptimized ~optimized
       if not stateless_router then Budget_exceeded
       else
         match
-          verify_staged ~node_budget ~qmdd_stats ~route options.device native
-            unoptimized optimized reference
+          verify_staged ~node_budget ~deadline_ns ~qmdd_stats ~route
+            options.device native unoptimized optimized reference
         with
         | outcome -> outcome
         | exception Qmdd.Node_budget_exceeded -> Budget_exceeded
@@ -200,9 +206,18 @@ let verify mode options ~trace ~route ~native ~unoptimized ~optimized
     let sim_used = ref false in
     let outcome =
       match fallback with
-      | None -> qmdd_outcome ()
+      | None -> (
+        match qmdd_outcome () with
+        | outcome -> outcome
+        | exception Qmdd.Deadline_exceeded -> Budget_exceeded)
       | Some max_sim_qubits -> (
         let oracle reason =
+          (* The oracle is a last resort, not a license to overrun: a
+             compile whose wall-clock budget expired mid-check degrades
+             to [Unverified] instead of starting a dense simulation. *)
+          if past_deadline () then
+            Unverified (reason ^ "; wall-clock deadline exceeded")
+          else
           let n = Circuit.n_qubits reference in
           let cap = min max_sim_qubits Sim.max_unitary_qubits in
           if n > cap then
@@ -224,6 +239,8 @@ let verify mode options ~trace ~route ~native ~unoptimized ~optimized
         match qmdd_outcome () with
         | Budget_exceeded -> oracle "QMDD node budget exhausted"
         | outcome -> outcome
+        | exception Qmdd.Deadline_exceeded ->
+          Unverified "wall-clock deadline exceeded during verification"
         | exception exn ->
           oracle
             (Printf.sprintf "QMDD equivalence raised %s"
@@ -563,8 +580,8 @@ let compile_checked ?(trace = Trace.disabled) options input =
             0.0 )
         else
           guard Diagnostic.Verify (fun () ->
-              verify mode options ~trace ~route:route_for_verify ~native
-                ~unoptimized ~optimized:prefold reference)
+              verify mode options ~trace ~deadline_ns ~route:route_for_verify
+                ~native ~unoptimized ~optimized:prefold reference)
     in
     (match verification with
     | Budget_exceeded -> degrade Diagnostic.Verify "QMDD node budget exhausted"
@@ -666,6 +683,105 @@ let parse_file path =
   match parse_file_checked path with
   | Ok input -> input
   | Error d -> raise (Compile_error (Diagnostic.to_string d))
+
+(* The serve daemon receives sources over the wire rather than as
+   files; the same per-format parsers run on the in-memory string. *)
+let parse_source_checked ~format ?path source =
+  let fmt =
+    let s = String.lowercase_ascii (String.trim format) in
+    if String.length s > 0 && s.[0] = '.' then
+      String.sub s 1 (String.length s - 1)
+    else s
+  in
+  let file =
+    match path with Some p -> p | None -> Printf.sprintf "<%s source>" fmt
+  in
+  let parse_error fmt_name line message =
+    Error
+      (Diagnostic.error ~file ~line ~stage:Diagnostic.Front_end
+         ~kind:Diagnostic.Parse
+         (Printf.sprintf "%s parse error: %s" fmt_name message))
+  in
+  match fmt with
+  | "pla" -> (
+    match Qformats.Pla.of_string source with
+    | pla -> Ok (Classical pla)
+    | exception Qformats.Pla.Parse_error { line; message } ->
+      parse_error "PLA" line message)
+  | "qasm" -> (
+    match Qformats.Qasm.of_string source with
+    | c -> Ok (Quantum c)
+    | exception Qformats.Qasm.Parse_error { line; message } ->
+      parse_error "QASM" line message)
+  | "qc" -> (
+    match Qformats.Qc.of_string source with
+    | qc -> Ok (Quantum qc.Qformats.Qc.circuit)
+    | exception Qformats.Qc.Parse_error { line; message } ->
+      parse_error ".qc" line message)
+  | "real" -> (
+    match Qformats.Real.of_string source with
+    | real -> Ok (Quantum real.Qformats.Real.circuit)
+    | exception Qformats.Real.Parse_error { line; message } ->
+      parse_error ".real" line message)
+  | other ->
+    Error
+      (Diagnostic.error ~file ~stage:Diagnostic.Driver
+         ~kind:Diagnostic.Unsupported
+         (Printf.sprintf "unsupported input format %S" other))
+
+(* {2 Content digests}
+
+   A compile request is a (source, device, options) triple; the digests
+   below turn one into a stable cache key.  Two requests share a key
+   exactly when the compiler cannot tell them apart — the key never
+   involves file paths or timestamps. *)
+
+let digest_hex s = Digest.to_hex (Digest.string s)
+let source_digest source = digest_hex source
+let device_digest device = digest_hex (Device.to_dict_string device)
+
+let canonical_options options =
+  let buf = Buffer.create 256 in
+  let field name value =
+    Buffer.add_string buf name;
+    Buffer.add_char buf '=';
+    Buffer.add_string buf value;
+    Buffer.add_char buf ';'
+  in
+  let flag name b = field name (string_of_bool b) in
+  let opt_int = function None -> "none" | Some i -> string_of_int i in
+  let opt_float = function
+    | None -> "none"
+    | Some f -> Printf.sprintf "%.17g" f
+  in
+  field "cost" (Cost.name options.cost);
+  field "router"
+    (match options.router with
+    | Ctr -> "ctr"
+    (* A custom weight function has no canonical form; all weighted
+       routers share a tag, so callers that vary the function must not
+       share a cache (the serve daemon only ever builds [Ctr]). *)
+    | Weighted_ctr _ -> "weighted-ctr"
+    | Tracking -> "tracking");
+  flag "pre_optimize" options.pre_optimize;
+  flag "post_optimize" options.post_optimize;
+  flag "fold_states" options.fold_states;
+  flag "use_placement" options.use_placement;
+  field "verification"
+    (match options.verification with
+    | Skip -> "skip"
+    | Qmdd_check { node_budget } -> "qmdd:" ^ opt_int node_budget
+    | Fallback { node_budget; max_sim_qubits } ->
+      Printf.sprintf "fallback:%s:%d" (opt_int node_budget) max_sim_qubits);
+  flag "check_contracts" options.check_contracts;
+  field "deadline_seconds" (opt_float options.budgets.deadline_seconds);
+  field "max_optimize_iterations"
+    (opt_int options.budgets.max_optimize_iterations);
+  field "swap_budget" (opt_int options.budgets.swap_budget);
+  flag "inject" (options.inject <> None);
+  Buffer.contents buf
+
+let options_digest options = digest_hex (canonical_options options)
 
 let emit_qasm report = Qformats.Qasm.to_string report.optimized
 

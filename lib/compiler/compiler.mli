@@ -75,7 +75,13 @@ type budgets = {
           optimization sweeps: once past, optional stages
           (pre/post-optimization, placement) are skipped and
           verification reports [Unverified]/[Budget_exceeded] without
-          running. *)
+          running.  The deadline is also enforced {e inside} the
+          verification stage: an in-flight QMDD equivalence check
+          probes the clock per gate multiplication and per 1024 node
+          allocations, so a check that explodes after the stage starts
+          degrades down the fallback chain ([Unverified] under
+          {!Fallback}, [Budget_exceeded] under {!Qmdd_check}) instead
+          of overrunning the budget. *)
   max_optimize_iterations : int option;
       (** cap on fixpoint sweeps for each optimization stage
           (pre-optimize, post-optimize swap-level and gate-level
@@ -265,6 +271,42 @@ val parse_file_checked : string -> (input, Diagnostic.t) result
     @raise Compile_error on any failure, with the rendered diagnostic
     ([file:line: ...] prefix included) as the message. *)
 val parse_file : string -> input
+
+(** [parse_source_checked ~format ?path source] parses an in-memory
+    [source] string as the named format — ["pla"], ["qasm"], ["qc"] or
+    ["real"], case-insensitively and with or without the leading dot —
+    and never raises.  Diagnostics name [path] when given and a
+    [<format source>] placeholder otherwise.  This is how the serve
+    daemon parses request bodies: no temp files, identical parsers to
+    {!parse_file_checked}. *)
+val parse_source_checked :
+  format:string -> ?path:string -> string -> (input, Diagnostic.t) result
+
+(** {2 Content digests}
+
+    Stable fingerprints for content-addressed compile caching (see
+    {!Serve}): a request's cache key is the triple
+    ([source_digest], [device_digest], [options_digest]).  All three
+    are hex MD5 strings over canonical serializations — no file paths,
+    no timestamps. *)
+
+(** [source_digest s] fingerprints a source text verbatim. *)
+val source_digest : string -> string
+
+(** [device_digest d] fingerprints a device via
+    {!Device.to_dict_string}, so two loads of the same table collide
+    regardless of where the file lived. *)
+val device_digest : Device.t -> string
+
+(** [canonical_options o] is a stable [key=value;...] rendering of
+    every semantically relevant option field.  Caveat: a
+    [Weighted_ctr] router's weight {e function} cannot be serialized —
+    all weighted routers share one tag, so callers varying the
+    function must not share a cache keyed on this. *)
+val canonical_options : options -> string
+
+(** [options_digest o] is the hex MD5 of {!canonical_options}. *)
+val options_digest : options -> string
 
 (** [emit_qasm report] renders the final circuit as OpenQASM 2.0. *)
 val emit_qasm : report -> string

@@ -42,6 +42,7 @@ type kind =
   | Contract_violation
   | Verification_failed
   | Lint_finding
+  | Protocol
   | Internal
 
 let kind_to_string = function
@@ -55,13 +56,14 @@ let kind_to_string = function
   | Contract_violation -> "contract-violation"
   | Verification_failed -> "verification-failed"
   | Lint_finding -> "lint"
+  | Protocol -> "protocol"
   | Internal -> "internal"
 
 let all_kinds =
   [
     Parse; Io; Unsupported; Capacity; Unroutable; Budget_exhausted;
     Invalid_gate; Contract_violation; Verification_failed; Lint_finding;
-    Internal;
+    Protocol; Internal;
   ]
 
 let kind_of_string s = List.find_opt (fun k -> kind_to_string k = s) all_kinds

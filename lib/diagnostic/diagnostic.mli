@@ -46,6 +46,10 @@ type kind =
   | Contract_violation  (** a pass broke its postcondition (strict mode) *)
   | Verification_failed  (** the output provably differs from the input *)
   | Lint_finding  (** a lint rule fired (see {!Lint.to_diagnostic}) *)
+  | Protocol
+      (** a malformed [qsynth-serve/v1] frame: unparseable JSON, an
+          unknown verb, a wrongly-typed or missing field (see
+          {!Serve}) *)
   | Internal  (** an unexpected exception; a bug, but a reported one *)
 
 val kind_to_string : kind -> string

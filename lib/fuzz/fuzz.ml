@@ -889,6 +889,236 @@ module Property = struct
         | _ -> wrong_case "absint-sound");
     }
 
+  (* 12. Protocol totality and determinism of the serve daemon
+     (lib/serve).  A case is a stream of qsynth-serve/v1 frames, one
+     per line — valid compiles, batches, stats/ping/shutdown probes,
+     and deliberately malformed junk.  Phase 1 drives the in-process
+     protocol core twice: every frame must yield exactly one valid
+     envelope (code 0/123/124/125, [ok] iff code 0) and the two runs
+     must agree byte for byte once the volatile "seconds" field is
+     dropped.  Phase 2 replays the same frames through a real
+     Unix-socket server with two concurrent clients: every response
+     must still be a valid envelope, one per frame. *)
+  let serve_protocol =
+    let module J = Trace.Json in
+    let strip_seconds = function
+      | J.Obj fields ->
+        J.Obj (List.filter (fun (k, _) -> k <> "seconds") fields)
+      | other -> other
+    in
+    let validate_envelope frame response =
+      match J.of_string response with
+      | Error msg ->
+        Some
+          (Printf.sprintf "unparseable response %S to frame %S: %s" response
+             frame msg)
+      | Ok j -> (
+        let code =
+          match J.member "code" j with Some (J.Int c) -> Some c | _ -> None
+        in
+        let ok =
+          match J.member "ok" j with Some (J.Bool b) -> Some b | _ -> None
+        in
+        let proto =
+          match J.member "protocol" j with
+          | Some (J.String s) -> Some s
+          | _ -> None
+        in
+        match (proto, code, ok) with
+        | Some "qsynth-serve/v1", Some code, Some ok ->
+          if not (List.mem code [ 0; 123; 124; 125 ]) then
+            Some (Printf.sprintf "response to %S has code %d" frame code)
+          else if ok <> (code = 0) then
+            Some
+              (Printf.sprintf "response to %S: ok=%b but code=%d" frame ok
+                 code)
+          else None
+        | _ ->
+          Some
+            (Printf.sprintf "response to %S is not a qsynth-serve/v1 envelope"
+               frame))
+    in
+    let frames_of_text text =
+      List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+    in
+    (* Small capacity so generated streams actually exercise LRU
+       eviction, not just hits and misses. *)
+    let fresh_daemon () = Serve.create ~cache_capacity:4 () in
+    let run_in_process frames =
+      let t = fresh_daemon () in
+      List.map (fun f -> (f, Serve.handle_line t f)) frames
+    in
+    let phase_in_process frames =
+      let first = run_in_process frames and second = run_in_process frames in
+      let rec go = function
+        | [], [] -> Pass
+        | (frame, r1) :: rest1, (_, r2) :: rest2 -> (
+          match validate_envelope frame r1 with
+          | Some msg -> Fail msg
+          | None ->
+            let canon r =
+              match J.of_string r with
+              | Ok j -> J.to_string (strip_seconds j)
+              | Error _ -> r
+            in
+            if canon r1 <> canon r2 then
+              failf "nondeterministic response to frame %S: %S vs %S" frame
+                r1 r2
+            else go (rest1, rest2))
+        | _ -> Fail "in-process runs answered different frame counts"
+      in
+      go (first, second)
+    in
+    let phase_loopback frames =
+      let path = Filename.temp_file "qsynth-serve" ".sock" in
+      let address = Serve.Unix_socket path in
+      let daemon = fresh_daemon () in
+      let server = Thread.create (fun () -> Serve.serve daemon address) () in
+      let rec connect retries =
+        match Serve.Client.connect address with
+        | conn -> Some conn
+        | exception _ when retries > 0 ->
+          Thread.delay 0.01;
+          connect (retries - 1)
+        | exception _ -> None
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (* Stop the accept loop no matter how the clients fared, then
+             reap the server thread and the socket path. *)
+          (match connect 10 with
+          | Some conn ->
+            (try ignore (Serve.Client.request conn {|{"op":"shutdown"}|})
+             with _ -> ());
+            Serve.Client.close conn
+          | None -> ());
+          Thread.join server;
+          try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let half = List.length frames / 2 in
+          let split i = List.filteri (fun j _ -> (j < half) = i) frames in
+          let results = [| Error "client did not run"; Error "client did not run" |] in
+          let client idx fs () =
+            results.(idx) <-
+              (match connect 100 with
+              | None -> Error "could not connect to loopback server"
+              | Some conn ->
+                Fun.protect
+                  ~finally:(fun () -> Serve.Client.close conn)
+                  (fun () ->
+                    try Ok (List.map (fun f -> (f, Serve.Client.request conn f)) fs)
+                    with e ->
+                      Error
+                        (Printf.sprintf "client raised %s"
+                           (Printexc.to_string e))))
+          in
+          let t1 = Thread.create (client 0 (split true)) () in
+          let t2 = Thread.create (client 1 (split false)) () in
+          Thread.join t1;
+          Thread.join t2;
+          let check_client = function
+            | Error msg -> Fail msg
+            | Ok responses ->
+              let rec go = function
+                | [] -> Pass
+                | (frame, r) :: rest -> (
+                  match validate_envelope frame r with
+                  | Some msg -> Fail msg
+                  | None -> go rest)
+              in
+              go responses
+          in
+          match check_client results.(0) with
+          | Fail _ as f -> f
+          | Pass -> check_client results.(1))
+    in
+    {
+      name = "serve-protocol";
+      doc = "the serve daemon answers every frame with one valid envelope";
+      paper = "Sec. 5 (robustness of the pipeline)";
+      gen =
+        (fun cfg st ->
+          let device st =
+            Gen.choose [ "ibmqx4"; "ibmqx2"; "ibmq_16"; "perovskite" ] st
+          in
+          let source st =
+            let c =
+              Gen.circuit ~gate:qasm_gate ~max_qubits:(min 4 cfg.max_qubits)
+                ~max_gates:(min 10 cfg.max_gates) st
+            in
+            Qformats.Qasm.to_string c
+          in
+          let options st =
+            match Gen.int 5 st with
+            | 0 -> []
+            | 1 -> [ ("verification", J.String "skip") ]
+            | 2 ->
+              [
+                ("verification", J.String "qmdd");
+                ("node_budget", J.Int 200_000);
+              ]
+            | 3 -> [ ("deadline_seconds", J.Float 2.0) ]
+            | _ -> [ ("not_an_option", J.Bool true) ]
+          in
+          let compile_obj st =
+            [
+              ("op", J.String "compile");
+              ("source", J.String (source st));
+              ("device", J.String (device st));
+              ("options", J.Obj (options st));
+            ]
+          in
+          let frame st =
+            match Gen.int 12 st with
+            | 0 -> {|{"op":"ping"}|}
+            | 1 -> {|{"op":"stats"}|}
+            | 2 -> {|{"op":"shutdown"}|}
+            | 3 -> J.to_string (J.Obj [ ("op", J.String "transmogrify") ])
+            | 4 ->
+              (* structurally broken on purpose *)
+              Gen.choose
+                [
+                  "not json at all";
+                  "{\"op\":";
+                  "[1,2,3]";
+                  "{\"op\":42}";
+                  "{\"source\":\"x\"}";
+                  {|{"op":"compile","source":17,"device":"ibmqx4"}|};
+                  {|{"op":"compile","source":"","device":"nosuch"}|};
+                  {|{"op":"batch","requests":{}}|};
+                ]
+                st
+            | 5 ->
+              J.to_string
+                (J.Obj
+                   [
+                     ("op", J.String "batch");
+                     ( "requests",
+                       J.List
+                         (List.init (Gen.int 3 st) (fun _ ->
+                              J.Obj (List.tl (compile_obj st)))) );
+                   ])
+            | _ -> J.to_string (J.Obj (compile_obj st))
+          in
+          let n = 1 + Gen.int 8 st in
+          let frames = List.init n (fun _ -> frame st) in
+          Source_case { ext = ".serve"; text = String.concat "\n" frames });
+      check =
+        (function
+        | Source_case { ext = ".serve"; text } -> (
+          let frames = frames_of_text text in
+          match phase_in_process frames with
+          | Fail _ as f -> f
+          | Pass ->
+            (* A mid-stream shutdown stops the accept loop while the
+               other client still awaits answers; the loopback phase
+               keeps the server up for the whole stream and stops it
+               itself, so shutdown frames are phase-1-only. *)
+            phase_loopback
+              (List.filter (fun f -> f <> {|{"op":"shutdown"}|}) frames))
+        | _ -> wrong_case "serve-protocol");
+    }
+
   let all =
     [
       compile_sim_equivalent;
@@ -902,6 +1132,7 @@ module Property = struct
       esop_cascade;
       compile_checked_total;
       absint_sound;
+      serve_protocol;
     ]
 
   let find name = List.find_opt (fun p -> p.name = name) all

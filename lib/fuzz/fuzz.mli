@@ -134,7 +134,9 @@ module Property : sig
       optimize-preserves-unitary, route-legal,
       route-budget-accounting, qasm-roundtrip, qc-roundtrip,
       place-invariance, esop-cascade, compile-checked-total,
-      absint-sound. *)
+      absint-sound, serve-protocol ([.serve] source cases: one
+      qsynth-serve/v1 frame per line, driven through the in-process
+      protocol core and a loopback socket with concurrent clients). *)
   val all : t list
 
   (** [find name] looks a property up by {!t.name}. *)

@@ -16,6 +16,10 @@ type manager = {
   mutable identity_from : edge array;
       (* identity_from.(v) = identity over variables v .. n-1 *)
   mutable budget : int option;
+  mutable deadline : int64 option;
+      (* monotonic-clock instant past which node allocation aborts with
+         [Deadline_exceeded]; checked once per [deadline_stride]
+         allocations so the clock read never shows up on the hot path *)
   (* Observability counters (see [stats]): plain int bumps on paths that
      already pay for a hashtable probe, so they stay on unconditionally. *)
   mutable peak_unique : int;
@@ -36,6 +40,16 @@ type stats = {
 }
 
 exception Node_budget_exceeded
+exception Deadline_exceeded
+
+let now_ns () = Monotonic_clock.now ()
+
+(* Allocation granularity of the deadline check: a diagram explosion
+   allocates thousands of nodes per millisecond, so probing the clock
+   every [deadline_stride] fresh nodes bounds the overrun to well under
+   a millisecond while keeping the common (no-deadline or cache-hit)
+   path free of clock reads. *)
+let deadline_stride = 1024
 
 let weight_eps = 1e-9
 let bucket_scale = 1e9
@@ -112,6 +126,7 @@ let create ~n =
     next_id = 1;
     identity_from = [||];
     budget = None;
+    deadline = None;
     peak_unique = 0;
     mul_hits = 0;
     mul_misses = 0;
@@ -174,6 +189,10 @@ let make_node m var edges =
       | None ->
         (match m.budget with
         | Some budget when m.next_id > budget -> raise Node_budget_exceeded
+        | Some _ | None -> ());
+        (match m.deadline with
+        | Some d when m.next_id land (deadline_stride - 1) = 0 ->
+          if Int64.compare (now_ns ()) d >= 0 then raise Deadline_exceeded
         | Some _ | None -> ());
         let node = { id = m.next_id; var; edges = normalized } in
         m.next_id <- m.next_id + 1;
@@ -363,6 +382,11 @@ let with_budget m node_budget f =
   m.budget <- node_budget;
   Fun.protect ~finally:(fun () -> m.budget <- saved) f
 
+let with_deadline m deadline_ns f =
+  let saved = m.deadline in
+  m.deadline <- deadline_ns;
+  Fun.protect ~finally:(fun () -> m.deadline <- saved) f
+
 let of_circuit ?node_budget m c =
   if Circuit.n_qubits c <> m.n then
     invalid_arg "Qmdd.of_circuit: width mismatch";
@@ -409,8 +433,8 @@ let first_use_relabeling c1 c2 =
 
 let manager_stats = stats
 
-let equivalent ?(up_to_phase = true) ?node_budget ?(reorder = true) ?stats c1
-    c2 =
+let equivalent ?(up_to_phase = true) ?node_budget ?deadline_ns
+    ?(reorder = true) ?stats c1 c2 =
   if Circuit.n_qubits c1 <> Circuit.n_qubits c2 then
     invalid_arg "Qmdd.equivalent: width mismatch";
   let c1, c2 =
@@ -428,8 +452,14 @@ let equivalent ?(up_to_phase = true) ?node_budget ?(reorder = true) ?stats c1
     | None -> ()
     | Some f -> f (manager_stats m)
   in
+  let past_deadline () =
+    match deadline_ns with
+    | None -> false
+    | Some d -> Int64.compare (now_ns ()) d >= 0
+  in
   Fun.protect ~finally:observe (fun () ->
   with_budget m node_budget (fun () ->
+  with_deadline m deadline_ns (fun () ->
       (* Alternating scheme: gates of c1 left-multiplied, adjoints of c2
          right-multiplied, interleaved in proportion so the intermediate
          diagram stays close to the identity.  Final product is
@@ -440,6 +470,10 @@ let equivalent ?(up_to_phase = true) ?node_budget ?(reorder = true) ?stats c1
       let acc = ref (identity m) in
       let i = ref 0 and j = ref 0 in
       while !i < n1 || !j < n2 do
+        (* Per-gate deadline probe: the per-allocation check inside
+           [make_node] only fires while the diagram grows, so a long
+           all-cache-hit stretch still re-reads the clock here. *)
+        if past_deadline () then raise Deadline_exceeded;
         let advance_c1 =
           !i < n1
           && (!j >= n2 || !i * n2 <= !j * n1)
@@ -454,7 +488,7 @@ let equivalent ?(up_to_phase = true) ?node_budget ?(reorder = true) ?stats c1
         end
       done;
       if up_to_phase then is_identity_up_to_phase m !acc
-      else is_identity m !acc))
+      else is_identity m !acc)))
 
 let adjoint m e =
   (* Transpose the quadrant structure (U01 <-> U10) and conjugate the

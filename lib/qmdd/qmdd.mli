@@ -52,6 +52,10 @@ val stats : manager -> stats
     budget given to {!equivalent} / {!of_circuit}. *)
 exception Node_budget_exceeded
 
+(** Raised by {!equivalent} when the monotonic-clock deadline it was
+    given passes mid-check. *)
+exception Deadline_exceeded
+
 (** [identity m] is the 2^n identity matrix. *)
 val identity : manager -> edge
 
@@ -105,15 +109,26 @@ val is_identity_up_to_phase : manager -> edge -> bool
     exponentially smaller on wide, locally-acting circuits (the
     96-qubit benchmarks).
 
+    [deadline_ns], when given, is a monotonic-clock instant (the scale
+    of [Trace.now_ns]): once past, the check aborts with
+    {!Deadline_exceeded} instead of running to completion.  The
+    deadline is probed before every gate multiplication and once per
+    1024 fresh node allocations, so even a single exploding multiply
+    overruns by at most a fraction of a millisecond — this is what lets
+    a compile's wall-clock budget bound the verification stage instead
+    of merely being consulted before it starts.
+
     [stats], when given, receives the internal manager's {!stats} once
     the check finishes — including when it aborts on
-    [Node_budget_exceeded], so traces can record how large the diagram
-    grew before giving up.
+    [Node_budget_exceeded] or [Deadline_exceeded], so traces can record
+    how large the diagram grew before giving up.
     @raise Node_budget_exceeded when the optional budget is exceeded.
+    @raise Deadline_exceeded when the optional deadline passes mid-check.
     @raise Invalid_argument when widths differ. *)
 val equivalent :
   ?up_to_phase:bool ->
   ?node_budget:int ->
+  ?deadline_ns:int64 ->
   ?reorder:bool ->
   ?stats:(stats -> unit) ->
   Circuit.t ->

@@ -1,0 +1,571 @@
+module J = Trace.Json
+
+let protocol = "qsynth-serve/v1"
+
+(* --- daemon state -------------------------------------------------- *)
+
+type entry = { payload : (string * J.t) list; code : int; mutable tick : int }
+
+type t = {
+  cache : (string, entry) Hashtbl.t;
+  capacity : int;
+  max_deadline : float;
+  trace : Trace.t;
+  lock : Mutex.t;
+  mutable clock : int;  (** LRU tick; bumped on every cache touch *)
+  mutable requests : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable stop : bool;
+}
+
+let create ?(cache_capacity = 256) ?(max_deadline_seconds = 60.0)
+    ?(trace = Trace.disabled) () =
+  if cache_capacity < 0 then
+    invalid_arg "Serve.create: negative cache_capacity";
+  if max_deadline_seconds <= 0.0 then
+    invalid_arg "Serve.create: max_deadline_seconds must be positive";
+  {
+    cache = Hashtbl.create (max 16 cache_capacity);
+    capacity = cache_capacity;
+    max_deadline = max_deadline_seconds;
+    trace;
+    lock = Mutex.create ();
+    clock = 0;
+    requests = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    stop = false;
+  }
+
+let stats t =
+  (t.requests, t.hits, t.misses, t.evictions, Hashtbl.length t.cache)
+
+let shutdown_requested t = t.stop
+
+(* --- protocol errors ----------------------------------------------- *)
+
+(* Carries the response code alongside the diagnostic; code 124 is
+   protocol misuse (the CLI's command-line-misuse lane), 123 a reported
+   failure. *)
+exception Reject of int * Diagnostic.t
+
+let misuse msg =
+  raise
+    (Reject
+       ( 124,
+         Diagnostic.error ~stage:Diagnostic.Driver ~kind:Diagnostic.Protocol
+           msg ))
+
+let missing_field msg =
+  raise
+    (Reject
+       ( 123,
+         Diagnostic.error ~stage:Diagnostic.Driver ~kind:Diagnostic.Protocol
+           msg ))
+
+(* --- request field readers ----------------------------------------- *)
+
+let expect_obj what = function
+  | J.Obj fields -> fields
+  | _ -> misuse (Printf.sprintf "%s must be a JSON object" what)
+
+let get_string key j =
+  match J.member key j with
+  | Some (J.String s) -> Some s
+  | Some _ -> misuse (Printf.sprintf "field %S must be a string" key)
+  | None -> None
+
+let as_int key = function
+  | J.Int i -> i
+  | J.Float f when Float.is_integer f -> int_of_float f
+  | _ -> misuse (Printf.sprintf "option %S must be an integer" key)
+
+let as_number key = function
+  | J.Int i -> float_of_int i
+  | J.Float f -> f
+  | _ -> misuse (Printf.sprintf "option %S must be a number" key)
+
+let as_bool key = function
+  | J.Bool b -> b
+  | _ -> misuse (Printf.sprintf "option %S must be a boolean" key)
+
+(* --- compile request ----------------------------------------------- *)
+
+type request = {
+  source : string;
+  format : string;
+  device : Device.t;
+  options : Compiler.options;
+}
+
+(* Mirrors the CLI defaults ([qsc compile] with no flags beyond the
+   device) so a served report matches a one-shot compile byte for
+   byte. *)
+let apply_options device opts_json =
+  let node_budget = ref (Some 8_000_000) in
+  let max_sim_qubits = ref 10 in
+  let verify_tag = ref "fallback" in
+  let deadline = ref None in
+  let options = ref (Compiler.default_options ~device) in
+  let set f = options := f !options in
+  List.iter
+    (fun (key, value) ->
+      match key with
+      | "pre_optimize" ->
+        let b = as_bool key value in
+        set (fun o -> { o with Compiler.pre_optimize = b })
+      | "post_optimize" ->
+        let b = as_bool key value in
+        set (fun o -> { o with Compiler.post_optimize = b })
+      | "fold_states" ->
+        let b = as_bool key value in
+        set (fun o -> { o with Compiler.fold_states = b })
+      | "use_placement" ->
+        let b = as_bool key value in
+        set (fun o -> { o with Compiler.use_placement = b })
+      | "check_contracts" ->
+        let b = as_bool key value in
+        set (fun o -> { o with Compiler.check_contracts = b })
+      | "verification" -> (
+        match value with
+        | J.String ("skip" | "qmdd" | "fallback") ->
+          verify_tag :=
+            (match value with J.String s -> s | _ -> assert false)
+        | _ -> misuse "option \"verification\" must be skip|qmdd|fallback")
+      | "node_budget" ->
+        let n = as_int key value in
+        node_budget := (if n = 0 then None else Some n)
+      | "max_sim_qubits" -> max_sim_qubits := as_int key value
+      | "deadline_seconds" ->
+        let d = as_number key value in
+        if d <= 0.0 then misuse "option \"deadline_seconds\" must be positive";
+        deadline := Some d
+      | "max_optimize_iterations" ->
+        let n = as_int key value in
+        set (fun o ->
+            {
+              o with
+              Compiler.budgets =
+                { o.Compiler.budgets with Compiler.max_optimize_iterations = Some n };
+            })
+      | "swap_budget" ->
+        let n = as_int key value in
+        set (fun o ->
+            {
+              o with
+              Compiler.budgets =
+                { o.Compiler.budgets with Compiler.swap_budget = Some n };
+            })
+      | other -> misuse (Printf.sprintf "unknown option %S" other))
+    opts_json;
+  let verification =
+    match !verify_tag with
+    | "skip" -> Compiler.Skip
+    | "qmdd" -> Compiler.Qmdd_check { node_budget = !node_budget }
+    | _ ->
+      Compiler.Fallback
+        { node_budget = !node_budget; max_sim_qubits = !max_sim_qubits }
+  in
+  set (fun o -> { o with Compiler.verification });
+  (!options, !deadline)
+
+let parse_compile_request t j =
+  let _ = expect_obj "a compile request" j in
+  let source =
+    match get_string "source" j with
+    | Some s -> s
+    | None -> missing_field "compile request is missing \"source\""
+  in
+  let format =
+    match get_string "format" j with Some f -> f | None -> "qasm"
+  in
+  let device_name =
+    match get_string "device" j with
+    | Some d -> d
+    | None -> missing_field "compile request is missing \"device\""
+  in
+  let device =
+    match Device.find device_name with
+    | d -> d
+    | exception Not_found ->
+      misuse
+        (Printf.sprintf "unknown device %S (see `qsc devices')" device_name)
+  in
+  let opts_json =
+    match J.member "options" j with
+    | None -> []
+    | Some o -> expect_obj "\"options\"" o
+  in
+  let options, requested_deadline = apply_options device opts_json in
+  (* A daemon never hangs forever on one compile: requests are clamped
+     to the server-side maximum, and requests that ask for no budget
+     get the maximum. *)
+  let deadline_seconds =
+    match requested_deadline with
+    | Some d -> Some (Float.min d t.max_deadline)
+    | None -> Some t.max_deadline
+  in
+  let options =
+    {
+      options with
+      Compiler.budgets = { options.Compiler.budgets with Compiler.deadline_seconds };
+    }
+  in
+  { source; format; device; options }
+
+(* --- report scrubbing ---------------------------------------------- *)
+
+(* The only volatile fields in a report are its two timings; nulling
+   them makes the payload a pure function of the cache key, so cache
+   hits are byte-identical to misses.  Live timing lives in the
+   response envelope instead. *)
+let scrub_report = function
+  | J.Obj fields ->
+    J.Obj
+      (List.map
+         (fun (k, v) ->
+           match k with
+           | "elapsed_seconds" | "verification_seconds" -> (k, J.Null)
+           | _ -> (k, v))
+         fields)
+  | other -> other
+
+(* --- the cache ----------------------------------------------------- *)
+
+let cache_key req =
+  String.concat ":"
+    [
+      Compiler.source_digest req.source;
+      String.lowercase_ascii req.format;
+      Compiler.device_digest req.device;
+      Compiler.options_digest req.options;
+    ]
+
+let touch t entry =
+  t.clock <- t.clock + 1;
+  entry.tick <- t.clock
+
+let evict_lru t =
+  (* O(n) min-scan; n is the cache capacity (hundreds), and eviction
+     only runs on inserts that already paid for a full compile. *)
+  let victim =
+    Hashtbl.fold
+      (fun key entry acc ->
+        match acc with
+        | Some (_, best) when best.tick <= entry.tick -> acc
+        | _ -> Some (key, entry))
+      t.cache None
+  in
+  match victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.cache key;
+    t.evictions <- t.evictions + 1;
+    Trace.bump t.trace "serve_cache_evictions" 1.0
+  | None -> ()
+
+let cache_insert t key payload code =
+  if t.capacity > 0 then begin
+    if Hashtbl.length t.cache >= t.capacity && not (Hashtbl.mem t.cache key)
+    then evict_lru t;
+    let entry = { payload; code; tick = 0 } in
+    touch t entry;
+    Hashtbl.replace t.cache key entry
+  end
+
+(* --- compile ------------------------------------------------------- *)
+
+let diagnostics_json ds = J.List (List.map Diagnostic.to_json ds)
+
+(* Returns the response code and body fields for one compile request. *)
+let run_compile t j =
+  let req = parse_compile_request t j in
+  let key = cache_key req in
+  match Hashtbl.find_opt t.cache key with
+  | Some entry ->
+    t.hits <- t.hits + 1;
+    Trace.bump t.trace "serve_cache_hits" 1.0;
+    touch t entry;
+    (entry.code, entry.payload @ [ ("cached", J.Bool true) ])
+  | None ->
+    t.misses <- t.misses + 1;
+    Trace.bump t.trace "serve_cache_misses" 1.0;
+    let parsed =
+      match
+        Compiler.parse_source_checked ~format:req.format req.source
+      with
+      | Ok input -> Ok input
+      | Error d -> Error [ d ]
+    in
+    let outcome =
+      match parsed with
+      | Error ds -> Error ds
+      | Ok input -> Compiler.compile_checked req.options input
+    in
+    (match outcome with
+    | Error ds ->
+      (* Failures are cheap to recompute and usually get fixed and
+         resubmitted; only completed reports are worth cache slots. *)
+      (123, [ ("status", J.String "error"); ("diagnostics", diagnostics_json ds) ])
+    | Ok report ->
+      let mismatch = report.Compiler.verification = Compiler.Mismatch in
+      let code = if mismatch then 123 else 0 in
+      let payload =
+        [
+          ("status", J.String (if mismatch then "mismatch" else "ok"));
+          ( "report",
+            scrub_report
+              (Compiler.report_to_json ~cost:req.options.Compiler.cost report)
+          );
+        ]
+      in
+      cache_insert t key payload code;
+      (code, payload @ [ ("cached", J.Bool false) ]))
+
+(* --- dispatch ------------------------------------------------------ *)
+
+let envelope ?id ~code ~seconds body =
+  J.to_string
+    (J.Obj
+       ([ ("protocol", J.String protocol) ]
+       @ (match id with Some v -> [ ("id", v) ] | None -> [])
+       @ [ ("ok", J.Bool (code = 0)); ("code", J.Int code) ]
+       @ body
+       @ [ ("seconds", J.Float seconds) ]))
+
+let stats_body t =
+  [
+    ( "stats",
+      J.Obj
+        [
+          ("requests", J.Int t.requests);
+          ( "cache",
+            J.Obj
+              [
+                ("size", J.Int (Hashtbl.length t.cache));
+                ("capacity", J.Int t.capacity);
+                ("hits", J.Int t.hits);
+                ("misses", J.Int t.misses);
+                ("evictions", J.Int t.evictions);
+              ] );
+        ] );
+  ]
+
+(* One entry of a batch: same shape as a compile response, minus the
+   envelope (protocol/seconds live on the enclosing frame). *)
+let batch_entry t j =
+  match run_compile t j with
+  | code, body ->
+    J.Obj ([ ("ok", J.Bool (code = 0)); ("code", J.Int code) ] @ body)
+  | exception Reject (code, d) ->
+    J.Obj
+      [
+        ("ok", J.Bool false);
+        ("code", J.Int code);
+        ("status", J.String "error");
+        ("diagnostics", diagnostics_json [ d ]);
+      ]
+
+let run_batch t j =
+  let requests =
+    match J.member "requests" j with
+    | Some (J.List l) -> l
+    | Some _ -> misuse "field \"requests\" must be a list"
+    | None -> missing_field "batch request is missing \"requests\""
+  in
+  let results = List.map (batch_entry t) requests in
+  let code_of = function
+    | J.Obj fields -> (
+      match List.assoc_opt "code" fields with Some (J.Int c) -> c | _ -> 125)
+    | _ -> 125
+  in
+  let codes = List.map code_of results in
+  let failed = List.length (List.filter (fun c -> c <> 0) codes) in
+  (* Aggregate severity mirrors the CLI: all-clean is 0, otherwise the
+     worst lane that occurred (internal > misuse > reported). *)
+  let code = List.fold_left max 0 codes in
+  ( code,
+    [
+      ("total", J.Int (List.length results));
+      ("failed", J.Int failed);
+      ("results", J.List results);
+    ] )
+
+let dispatch t j =
+  match get_string "op" j with
+  | Some "ping" -> (0, [ ("pong", J.Bool true) ])
+  | Some "stats" -> (0, stats_body t)
+  | Some "shutdown" ->
+    t.stop <- true;
+    (0, [ ("stopping", J.Bool true) ])
+  | Some "compile" -> run_compile t j
+  | Some "batch" -> run_batch t j
+  | Some other -> misuse (Printf.sprintf "unknown op %S" other)
+  | None -> missing_field "request is missing \"op\""
+
+let handle_line_unlocked t line =
+  let t0 = Trace.now_ns () in
+  t.requests <- t.requests + 1;
+  Trace.bump t.trace "serve_requests" 1.0;
+  let id, (code, body) =
+    match J.of_string line with
+    | Error msg -> (
+      ( None,
+        try misuse (Printf.sprintf "unparseable request: %s" msg)
+        with Reject (code, d) ->
+          (code, [ ("status", J.String "error"); ("diagnostics", diagnostics_json [ d ]) ]) ))
+    | Ok j -> (
+      let id = match j with J.Obj _ -> J.member "id" j | _ -> None in
+      ( id,
+        match dispatch t (match j with J.Obj _ -> j | _ -> misuse "request must be a JSON object") with
+        | result -> result
+        | exception Reject (code, d) ->
+          (code, [ ("status", J.String "error"); ("diagnostics", diagnostics_json [ d ]) ])
+        | exception exn ->
+          ( 125,
+            [
+              ("status", J.String "error");
+              ( "diagnostics",
+                diagnostics_json
+                  [
+                    Diagnostic.error ~stage:Diagnostic.Driver
+                      ~kind:Diagnostic.Internal
+                      (Printf.sprintf "unexpected exception: %s"
+                         (Printexc.to_string exn));
+                  ] );
+            ] ) ))
+  in
+  let seconds = Int64.to_float (Int64.sub (Trace.now_ns ()) t0) /. 1e9 in
+  envelope ?id ~code ~seconds body
+
+let handle_line t line =
+  (* Requests serialize on the daemon lock: the protocol core stays a
+     pure line-to-line function and the compiler never runs on two
+     threads at once.  Concurrency lives at the socket layer. *)
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      try handle_line_unlocked t line
+      with exn ->
+        (* [handle_line_unlocked] already converts everything it can;
+           this is the last-resort 125 lane (e.g. Out_of_memory). *)
+        envelope ~code:125 ~seconds:0.0
+          [
+            ("status", J.String "error");
+            ( "diagnostics",
+              diagnostics_json
+                [
+                  Diagnostic.error ~stage:Diagnostic.Driver
+                    ~kind:Diagnostic.Internal
+                    (Printf.sprintf "unexpected exception: %s"
+                       (Printexc.to_string exn));
+                ] );
+          ])
+
+(* --- the socket layer ---------------------------------------------- *)
+
+type address = Unix_socket of string | Tcp of { host : string; port : int }
+
+let address_to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp { host; port } -> Printf.sprintf "tcp:%s:%d" host port
+
+let sockaddr_of_address = function
+  | Unix_socket path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Tcp { host; port } ->
+    (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+
+let serve ?max_requests t address =
+  let domain, sockaddr = sockaddr_of_address address in
+  (match address with
+  | Unix_socket path -> (
+    try Unix.unlink path with Unix.Unix_error _ -> () | Sys_error _ -> ())
+  | Tcp _ -> ());
+  let sock = Unix.socket domain Unix.SOCK_STREAM 0 in
+  let served = ref 0 in
+  let served_lock = Mutex.create () in
+  let finished () =
+    t.stop
+    ||
+    match max_requests with
+    | Some n ->
+      Mutex.lock served_lock;
+      let done_ = !served >= n in
+      Mutex.unlock served_lock;
+      done_
+    | None -> false
+  in
+  let handle_connection conn =
+    let ic = Unix.in_channel_of_descr conn in
+    let oc = Unix.out_channel_of_descr conn in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+      (fun () ->
+        try
+          let rec loop () =
+            if finished () then ()
+            else
+              match input_line ic with
+              | line ->
+                let response = handle_line t line in
+                output_string oc response;
+                output_char oc '\n';
+                flush oc;
+                Mutex.lock served_lock;
+                incr served;
+                Mutex.unlock served_lock;
+                loop ()
+              | exception End_of_file -> ()
+          in
+          loop ()
+        with Sys_error _ | Unix.Unix_error _ -> ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      match address with
+      | Unix_socket path -> (
+        try Unix.unlink path with Unix.Unix_error _ -> () | Sys_error _ -> ())
+      | Tcp _ -> ())
+    (fun () ->
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock sockaddr;
+      Unix.listen sock 64;
+      let workers = ref [] in
+      (* Poll with a short timeout so shutdown requests arriving on a
+         live connection stop the accept loop promptly. *)
+      while not (finished ()) do
+        match Unix.select [ sock ] [] [] 0.05 with
+        | [], _, _ -> ()
+        | _ :: _, _, _ ->
+          let conn, _ = Unix.accept sock in
+          workers := Thread.create handle_connection conn :: !workers
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      List.iter Thread.join !workers)
+
+(* --- client -------------------------------------------------------- *)
+
+module Client = struct
+  type conn = { ic : in_channel; oc : out_channel }
+
+  let connect address =
+    let domain, sockaddr = sockaddr_of_address address in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd sockaddr
+     with exn ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise exn);
+    { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+  let request c line =
+    output_string c.oc line;
+    output_char c.oc '\n';
+    flush c.oc;
+    input_line c.ic
+
+  let close c = close_in_noerr c.ic
+end

@@ -1,0 +1,124 @@
+(** A persistent compile service: the [qsc serve] daemon.
+
+    One-shot [qsc compile] pays process startup, device construction
+    and — dominating everything — verification on every invocation.
+    Editor integrations and benchmark harnesses issue the same compiles
+    over and over, so the daemon keeps a process alive, speaks a
+    newline-delimited JSON protocol over a Unix-domain or loopback TCP
+    socket, and memoizes full compile reports in a content-addressed
+    cache (the same shape as quilc's server mode, see DESIGN.md).
+
+    {2 The wire protocol: [qsynth-serve/v1]}
+
+    One request per line, one response line per request, both UTF-8
+    JSON.  Requests are objects with an ["op"] field:
+
+    - [{"op":"compile","source":S,"format":F,"device":D,"options":O}]
+      compiles source text [S] (format ["qasm"], ["qc"], ["real"] or
+      ["pla"]; default ["qasm"]) for built-in device [D].  [O] is an
+      optional object of compile options (see {!section-options}).
+    - [{"op":"batch","requests":[R1,R2,...]}] runs each [Ri] (a compile
+      request object without ["op"]) independently and aggregates — the
+      protocol form of [qsc compile --keep-going].
+    - [{"op":"stats"}] reports request and cache counters.
+    - [{"op":"ping"}] liveness probe.
+    - [{"op":"shutdown"}] stops the accept loop after this response.
+
+    Every response carries ["protocol"], the request's ["id"] (echoed
+    verbatim when present), ["ok"], ["code"] and ["seconds"].  ["code"]
+    mirrors the CLI exit contract: 0 success, 123 reported failure
+    (diagnostics, MISMATCH, failed batch entries), 124 protocol misuse
+    (unparseable frame, unknown op or device, unknown or wrongly-typed
+    field), 125 internal error.  Failures carry ["diagnostics"] — the
+    same JSON shape the CLI emits — with misuse tagged with the
+    [Protocol] diagnostic kind.
+
+    A successful compile response carries the {!Compiler.report_to_json}
+    payload under ["report"], with one deliberate change: the volatile
+    ["elapsed_seconds"] / ["verification_seconds"] fields are scrubbed
+    to [null].  Reports are therefore deterministic — a cache hit is
+    byte-identical to the miss that populated it, and both are
+    byte-identical to a one-shot compile of the same request — and live
+    timing goes in the envelope's ["seconds"] instead.
+
+    {2 The cache}
+
+    Keyed by ({!Compiler.source_digest}, format,
+    {!Compiler.device_digest}, {!Compiler.options_digest}) — content,
+    never file paths — and bounded by an LRU policy.  Only completed
+    reports (status ok or mismatch) are cached.  A hit skips the whole
+    pipeline {e including verification}; that is sound because the key
+    pins the exact source, device table and option set that produced
+    the verified report, and verification is deterministic for a pinned
+    triple — re-running it could only repeat the same answer. *)
+
+(** {2 Daemon state} *)
+
+type t
+
+(** [create ()] is a fresh daemon state (cache plus counters).
+
+    [cache_capacity] bounds the report cache (default 256 entries;
+    least-recently-used entries are evicted past it; 0 disables
+    caching).  [max_deadline_seconds] (default 60) bounds every
+    request's wall-clock budget: a request asking for more is clamped,
+    one asking for nothing gets the maximum — a daemon must never hang
+    forever on one compile.  [trace] (default {!Trace.disabled})
+    additionally receives cache and request totals as named counters
+    via {!Trace.bump}; spans are never recorded on it. *)
+val create :
+  ?cache_capacity:int ->
+  ?max_deadline_seconds:float ->
+  ?trace:Trace.t ->
+  unit ->
+  t
+
+(** [stats t] is the current counter snapshot:
+    [(requests, hits, misses, evictions, cache_size)]. *)
+val stats : t -> int * int * int * int * int
+
+(** [shutdown_requested t] is set once a [shutdown] request has been
+    answered. *)
+val shutdown_requested : t -> bool
+
+(** {2 The protocol core}
+
+    [handle_line t line] maps one request line to one response line
+    (no trailing newline).  This is the entire protocol — the socket
+    layer below only moves lines — so tests and the fuzzer drive the
+    daemon in-process with strings.  Never raises: internal errors
+    become code-125 responses.  Thread-safe (requests serialize on an
+    internal lock). *)
+val handle_line : t -> string -> string
+
+(** {2 The socket layer} *)
+
+type address =
+  | Unix_socket of string  (** filesystem path *)
+  | Tcp of { host : string; port : int }  (** loopback TCP *)
+
+val address_to_string : address -> string
+
+(** [serve t address] binds, listens and serves until a [shutdown]
+    request arrives (or [max_requests] lines have been answered, for
+    bounded test and CI runs).  One thread per connection; an existing
+    Unix-socket path is replaced.  Raises [Unix.Unix_error] only for
+    bind-time failures; per-connection errors drop that connection. *)
+val serve : ?max_requests:int -> t -> address -> unit
+
+(** {2 A line-oriented client}
+
+    Enough protocol client for tests, CI replay and the [qsc serve
+    --self-test] probe; real integrations can speak the protocol with
+    [nc] or a few lines of any language. *)
+module Client : sig
+  type conn
+
+  val connect : address -> conn
+
+  (** [request c line] sends one request line and blocks for the
+      response line. *)
+  val request : conn -> string -> string
+
+  val close : conn -> unit
+end

@@ -35,12 +35,21 @@ type recorder = {
   mutable rev_spans : span list;
   mutable count : int;
   born_ns : int64;
+  totals : (string, float) Hashtbl.t;
 }
 
 type t = Disabled | Recording of recorder
 
 let disabled = Disabled
-let create () = Recording { rev_spans = []; count = 0; born_ns = now_ns () }
+
+let create () =
+  Recording
+    {
+      rev_spans = [];
+      count = 0;
+      born_ns = now_ns ();
+      totals = Hashtbl.create 16;
+    }
 
 let enabled = function
   | Disabled -> false
@@ -103,6 +112,21 @@ let spans = function
 let total_wall_seconds = function
   | Disabled -> 0.0
   | Recording r -> Int64.to_float (Int64.sub (now_ns ()) r.born_ns) /. 1e9
+
+let bump t name delta =
+  match t with
+  | Disabled -> ()
+  | Recording r ->
+    let current =
+      match Hashtbl.find_opt r.totals name with Some v -> v | None -> 0.0
+    in
+    Hashtbl.replace r.totals name (current +. delta)
+
+let counter_totals = function
+  | Disabled -> []
+  | Recording r ->
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.totals []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let to_text spans =
   let buf = Buffer.create 512 in

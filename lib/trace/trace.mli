@@ -94,6 +94,21 @@ val spans : t -> span list
     disabled). *)
 val total_wall_seconds : t -> float
 
+(** {2 Named counters}
+
+    Long-running processes (the [qsc serve] daemon) accumulate
+    monotonic counters — cache hits, misses, evictions, request totals —
+    on the sink itself, independent of spans: a daemon must not keep a
+    span per request alive forever, but its counters are bounded. *)
+
+(** [bump t name delta] adds [delta] to the named counter (created at 0
+    on first use).  Free on a disabled sink. *)
+val bump : t -> string -> float -> unit
+
+(** [counter_totals t] lists the accumulated named counters sorted by
+    name (empty on a disabled sink). *)
+val counter_totals : t -> (string * float) list
+
 (** {2 Rendering} *)
 
 (** [to_text spans] is a human-readable table, one line per span. *)

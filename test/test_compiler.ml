@@ -337,6 +337,76 @@ let test_parse_file_dispatch () =
   Sys.remove pla_path;
   Unix.rmdir dir
 
+let test_parse_source_dispatch () =
+  (* The in-memory mirror of [parse_file_checked]: same parsers, no
+     temp files, format named explicitly (dot and case optional). *)
+  let qc_text = Qformats.Qc.to_string toffoli_cascade in
+  (match Compiler.parse_source_checked ~format:".QC" qc_text with
+  | Ok (Compiler.Quantum c) ->
+    check_bool "qc parsed from memory" true (Circuit.equal c toffoli_cascade)
+  | Ok (Compiler.Classical _) -> Alcotest.fail "expected Quantum"
+  | Error d -> Alcotest.failf "qc rejected: %s" (Diagnostic.to_string d));
+  (match
+     Compiler.parse_source_checked ~format:"pla" ".i 2\n.o 1\n11 1\n.e\n"
+   with
+  | Ok (Compiler.Classical _) -> ()
+  | Ok (Compiler.Quantum _) -> Alcotest.fail "expected Classical"
+  | Error d -> Alcotest.failf "pla rejected: %s" (Diagnostic.to_string d));
+  (match Compiler.parse_source_checked ~format:"tarot" "anything" with
+  | Error d -> check_bool "unsupported kind" true (d.Diagnostic.kind = Diagnostic.Unsupported)
+  | Ok _ -> Alcotest.fail "expected unsupported-format error");
+  match
+    Compiler.parse_source_checked ~format:"qasm" ~path:"req.qasm"
+      "OPENQASM 2.0;\nqreg q[1];\nbogus q[0];\n"
+  with
+  | Error d ->
+    check_bool "parse kind" true (d.Diagnostic.kind = Diagnostic.Parse);
+    check_bool "path surfaces in the diagnostic" true
+      (d.Diagnostic.file = Some "req.qasm")
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_content_digests () =
+  let device = Device.Ibm.ibmqx4 in
+  let options = Compiler.default_options ~device in
+  (* Digests are stable functions of content... *)
+  check_bool "source digest stable" true
+    (Compiler.source_digest "abc" = Compiler.source_digest "abc");
+  check_bool "device digest stable" true
+    (Compiler.device_digest device = Compiler.device_digest Device.Ibm.ibmqx4);
+  check_bool "options digest stable" true
+    (Compiler.options_digest options = Compiler.options_digest options);
+  (* ...and sensitive to every semantic change. *)
+  check_bool "source digest sensitive" true
+    (Compiler.source_digest "abc" <> Compiler.source_digest "abd");
+  check_bool "device digest sensitive" true
+    (Compiler.device_digest device
+    <> Compiler.device_digest Device.Ibm.ibmqx5);
+  check_bool "options digest sensitive to flags" true
+    (Compiler.options_digest options
+    <> Compiler.options_digest { options with Compiler.post_optimize = false });
+  check_bool "options digest sensitive to budgets" true
+    (Compiler.options_digest options
+    <> Compiler.options_digest
+         {
+           options with
+           Compiler.budgets =
+             { Compiler.no_budgets with Compiler.deadline_seconds = Some 1.0 };
+         });
+  (* The canonical rendering is explicit about what it covers. *)
+  let canon = Compiler.canonical_options options in
+  List.iter
+    (fun key ->
+      let needle = key ^ "=" in
+      let found =
+        let n = String.length canon and m = String.length needle in
+        let rec scan i =
+          i + m <= n && (String.sub canon i m = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      check_bool (Printf.sprintf "canonical form names %s" key) true found)
+    [ "cost"; "router"; "verification"; "deadline_seconds"; "swap_budget" ]
+
 let test_option_combinations () =
   (* Every combination of the boolean pipeline switches still produces
      a verified, legal result. *)
@@ -585,6 +655,84 @@ let test_deadline_degrades_not_aborts () =
     Alcotest.failf "deadline compile aborted: %s"
       (String.concat "; " (List.map Diagnostic.to_string ds))
 
+(* A circuit whose QMDD equivalence check takes ~100ms: 25 layers of
+   T/H/CNOT-chain over 16 qubits keeps the diagram dense enough that
+   the check cannot finish inside the sliver of budget the test leaves
+   it. *)
+let verification_heavy =
+  let n = 16 in
+  let gates = ref [] in
+  for _layer = 1 to 25 do
+    for q = 0 to n - 1 do
+      gates := Gate.H q :: Gate.T q :: !gates;
+      if q < n - 1 then
+        gates := Gate.Cnot { control = q; target = q + 1 } :: !gates
+    done
+  done;
+  Circuit.make ~n (List.rev !gates)
+
+let test_deadline_enforced_inside_verification () =
+  (* Regression: the wall-clock budget used to be consulted only
+     between stages, so a compile that reached verification with a
+     moment to spare ran the QMDD check to completion however long it
+     took.  The inject hook below burns the budget down to ~30ms after
+     routing; the check needs ~100ms, so the deadline must now expire
+     mid-check and degrade to [Unverified] with the during-verification
+     reason.  Pre-fix this test fails with [Verified]. *)
+  let device = Device.Ibm.ibmqx5 in
+  let deadline = 1.0 in
+  let margin = 0.03 in
+  let t0 = Trace.now_ns () in
+  let inject stage c =
+    (* Last hook before verification: spin until only [margin] of the
+       budget remains, so the pre-verification deadline check still
+       passes. *)
+    if stage = Diagnostic.Expand_swaps then begin
+      let target =
+        Int64.add t0 (Int64.of_float ((deadline -. margin) *. 1e9))
+      in
+      while Int64.compare (Trace.now_ns ()) target < 0 do
+        ()
+      done
+    end;
+    c
+  in
+  let opts =
+    { (Compiler.default_options ~device) with
+      Compiler.pre_optimize = false;
+      Compiler.post_optimize = false;
+      Compiler.verification =
+        Compiler.Fallback { node_budget = Some 8_000_000; max_sim_qubits = 10 };
+      Compiler.budgets =
+        { Compiler.no_budgets with Compiler.deadline_seconds = Some deadline };
+      Compiler.inject = Some inject
+    }
+  in
+  match Compiler.compile_checked opts (Compiler.Quantum verification_heavy) with
+  | Ok r ->
+    (match r.Compiler.verification with
+    | Compiler.Unverified reason ->
+      check_bool
+        (Printf.sprintf "deadline tripped mid-check (reason: %s)" reason)
+        true
+        (reason = "wall-clock deadline exceeded during verification");
+      (* The whole point: the overrun past the deadline is bounded by
+         the probe stride, not by the size of the check. *)
+      let elapsed =
+        Int64.to_float (Int64.sub (Trace.now_ns ()) t0) /. 1e9
+      in
+      check_bool
+        (Printf.sprintf "no overrun (%.3fs for a %.1fs deadline)" elapsed
+           deadline)
+        true
+        (elapsed < deadline +. 0.5)
+    | v ->
+      Alcotest.failf "expected Unverified (deadline), got %s"
+        (Compiler.verification_to_string v))
+  | Error ds ->
+    Alcotest.failf "deadline compile aborted: %s"
+      (String.concat "; " (List.map Diagnostic.to_string ds))
+
 let test_fallback_chain_reaches_sim_oracle () =
   let device = Device.Ibm.ibmqx4 in
   let opts =
@@ -717,6 +865,9 @@ let () =
             test_pp_report_placement_truncation;
           Alcotest.test_case "extension" `Quick test_extension;
           Alcotest.test_case "parse_file dispatch" `Quick test_parse_file_dispatch;
+          Alcotest.test_case "parse_source dispatch" `Quick
+            test_parse_source_dispatch;
+          Alcotest.test_case "content digests" `Quick test_content_digests;
           Alcotest.test_case "parse_file in dotted dir" `Quick
             test_parse_file_in_dotted_dir;
         ] );
@@ -740,6 +891,8 @@ let () =
             test_swap_budget_degrades;
           Alcotest.test_case "deadline degrades, not aborts" `Quick
             test_deadline_degrades_not_aborts;
+          Alcotest.test_case "deadline enforced inside verification" `Quick
+            test_deadline_enforced_inside_verification;
           Alcotest.test_case "fallback reaches sim oracle" `Quick
             test_fallback_chain_reaches_sim_oracle;
           Alcotest.test_case "fallback unverified when too wide" `Quick

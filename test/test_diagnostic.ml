@@ -26,6 +26,7 @@ let all_kinds =
     Diagnostic.Contract_violation;
     Diagnostic.Verification_failed;
     Diagnostic.Lint_finding;
+    Diagnostic.Protocol;
     Diagnostic.Internal;
   ]
 

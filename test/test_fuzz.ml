@@ -36,6 +36,39 @@ let test_runs_are_deterministic () =
   in
   check_bool "same seed draws the same cases" true (draw () = draw ())
 
+let test_no_temp_file_leak () =
+  (* compile-checked-total writes every mutated source to a temp file
+     and serve-protocol binds a temp socket path per loopback case;
+     both clean up on every exit path (Fun.protect).  Count matching
+     names in the temp directory around a fixed-seed run — any leak
+     shows up as growth. *)
+  let prefixes = [ "qsynth-fuzz"; "qsynth-serve" ] in
+  let count () =
+    let matches name =
+      List.exists
+        (fun p ->
+          String.length name >= String.length p
+          && String.sub name 0 (String.length p) = p)
+        prefixes
+    in
+    Array.fold_left
+      (fun acc name -> if matches name then acc + 1 else acc)
+      0
+      (Sys.readdir (Filename.get_temp_dir_name ()))
+  in
+  let props =
+    List.filter
+      (fun (p : Fuzz.Property.t) ->
+        List.mem p.Fuzz.Property.name
+          [ "compile-checked-total"; "serve-protocol" ])
+      Fuzz.Property.all
+  in
+  check_int "both properties found" 2 (List.length props);
+  let before = count () in
+  let summaries = Fuzz.run ~seed:11 ~count:20 props in
+  check_bool "run is clean" false (Fuzz.failed summaries);
+  check_int "no temp files leaked" before (count ())
+
 let test_shrinker_minimizes () =
   (* A synthetic failure — "contains a CNOT" — must shrink to a single
      CNOT on a 2-qubit register no matter how large the seed case is. *)
@@ -140,6 +173,7 @@ let () =
             test_all_properties_fixed_seed;
           Alcotest.test_case "deterministic generation" `Quick
             test_runs_are_deterministic;
+          Alcotest.test_case "no temp-file leak" `Quick test_no_temp_file_leak;
           Alcotest.test_case "shrinker minimizes" `Quick test_shrinker_minimizes;
           Alcotest.test_case "repro round-trips" `Quick test_repro_roundtrip;
           Alcotest.test_case "repro corpus replays clean" `Quick

@@ -138,6 +138,25 @@ let test_node_budget () =
   Alcotest.check_raises "budget exceeded" Qmdd.Node_budget_exceeded (fun () ->
       ignore (Qmdd.equivalent ~node_budget:2 c c))
 
+let test_deadline () =
+  let c =
+    Circuit.make ~n:3
+      [
+        Gate.H 0;
+        Gate.T 1;
+        Gate.Cnot { control = 0; target = 1 };
+        Gate.Cnot { control = 1; target = 2 };
+      ]
+  in
+  (* An already-expired deadline aborts before any real work. *)
+  let past = Int64.sub (Trace.now_ns ()) 1L in
+  Alcotest.check_raises "expired deadline" Qmdd.Deadline_exceeded (fun () ->
+      ignore (Qmdd.equivalent ~deadline_ns:past c c));
+  (* A generous one never fires. *)
+  let future = Int64.add (Trace.now_ns ()) 60_000_000_000L in
+  check_bool "generous deadline passes" true
+    (Qmdd.equivalent ~deadline_ns:future c c)
+
 let test_swap_chain_identity () =
   (* SWAP expressed as 3 CNOTs is the SWAP gate: paper Fig. 3. *)
   let swap = Circuit.make ~n:2 [ Gate.Swap (0, 1) ] in
@@ -389,6 +408,7 @@ let () =
           Alcotest.test_case "phase handling" `Quick test_equivalence_phase;
           Alcotest.test_case "inequivalence" `Quick test_inequivalence;
           Alcotest.test_case "node budget" `Quick test_node_budget;
+          Alcotest.test_case "deadline" `Quick test_deadline;
           Alcotest.test_case "fig3 swap identity" `Quick test_swap_chain_identity;
           Alcotest.test_case "reorder flag" `Quick test_reorder_flag;
           QCheck_alcotest.to_alcotest prop_reorder_agrees;

@@ -1,0 +1,374 @@
+(* The serve daemon: qsynth-serve/v1 dispatch, the content-addressed
+   report cache (hit/miss/LRU-eviction behavior), error-code mapping,
+   the batch verb, and the loopback socket layer with concurrent
+   clients.  Protocol tests drive [Serve.handle_line] in-process — the
+   socket layer only moves lines, so this covers the daemon's whole
+   behavior without binding sockets; the one socket test at the end
+   pins the rest. *)
+
+module J = Trace.Json
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let sample_qasm =
+  "OPENQASM 2.0;\n\
+   include \"qelib1.inc\";\n\
+   qreg q[3];\n\
+   h q[0];\n\
+   cx q[0],q[1];\n\
+   cx q[1],q[2];\n\
+   t q[2];\n"
+
+let parse_response line =
+  match J.of_string line with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "unparseable response %S: %s" line e
+
+let rpc t fields = parse_response (Serve.handle_line t (J.to_string (J.Obj fields)))
+
+let field name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "response is missing %S: %s" name (J.to_string j)
+
+let int_field name j =
+  match field name j with
+  | J.Int i -> i
+  | v -> Alcotest.failf "%S is not an int: %s" name (J.to_string v)
+
+let bool_field name j =
+  match field name j with
+  | J.Bool b -> b
+  | v -> Alcotest.failf "%S is not a bool: %s" name (J.to_string v)
+
+let compile_req ?(device = "ibmqx4") ?options source =
+  [
+    ("op", J.String "compile");
+    ("source", J.String source);
+    ("device", J.String device);
+  ]
+  @ match options with None -> [] | Some o -> [ ("options", J.Obj o) ]
+
+(* The options [Serve] applies to a bare request, rebuilt through the
+   public compiler API: CLI defaults plus the daemon's 60s deadline
+   ceiling. *)
+let mirrored_options device =
+  {
+    (Compiler.default_options ~device) with
+    Compiler.verification =
+      Compiler.Fallback { node_budget = Some 8_000_000; max_sim_qubits = 10 };
+    Compiler.budgets =
+      { Compiler.no_budgets with Compiler.deadline_seconds = Some 60.0 };
+  }
+
+let one_shot_report_json ?(device_name = "ibmqx4") source =
+  let device = Device.find device_name in
+  let options = mirrored_options device in
+  match Compiler.parse_source_checked ~format:"qasm" source with
+  | Error d -> Alcotest.failf "one-shot parse failed: %s" (Diagnostic.to_string d)
+  | Ok input -> (
+    match Compiler.compile_checked options input with
+    | Error ds ->
+      Alcotest.failf "one-shot compile failed: %s"
+        (String.concat "; " (List.map Diagnostic.to_string ds))
+    | Ok report -> (
+      match Compiler.report_to_json ~cost:options.Compiler.cost report with
+      | J.Obj fields ->
+        J.Obj
+          (List.map
+             (fun (k, v) ->
+               match k with
+               | "elapsed_seconds" | "verification_seconds" -> (k, J.Null)
+               | _ -> (k, v))
+             fields)
+      | other -> other))
+
+(* --- protocol basics --- *)
+
+let test_ping_and_envelope () =
+  let t = Serve.create () in
+  let r = rpc t [ ("op", J.String "ping"); ("id", J.Int 7) ] in
+  check_string "protocol" "qsynth-serve/v1"
+    (match field "protocol" r with J.String s -> s | _ -> "?");
+  check_int "id echoed" 7 (int_field "id" r);
+  check_bool "ok" true (bool_field "ok" r);
+  check_int "code" 0 (int_field "code" r);
+  check_bool "pong" true (bool_field "pong" r);
+  check_bool "seconds present" true
+    (match field "seconds" r with J.Float _ | J.Int _ -> true | _ -> false)
+
+let test_compile_matches_one_shot () =
+  let t = Serve.create () in
+  let r = rpc t (compile_req sample_qasm) in
+  check_int "code" 0 (int_field "code" r);
+  check_bool "not cached" false (bool_field "cached" r);
+  check_string "status" "ok"
+    (match field "status" r with J.String s -> s | _ -> "?");
+  (* The served report is byte-identical to a one-shot compile of the
+     same request: timings are scrubbed to null on both sides, and
+     everything else is deterministic. *)
+  check_string "byte-identical to one-shot"
+    (J.to_string (one_shot_report_json sample_qasm))
+    (J.to_string (field "report" r));
+  (* Scrubbing really happened. *)
+  check_bool "elapsed scrubbed" true
+    (J.member "elapsed_seconds" (field "report" r) = Some J.Null)
+
+(* --- the cache --- *)
+
+let test_cache_hit_and_key_sensitivity () =
+  let t = Serve.create () in
+  let first = rpc t (compile_req sample_qasm) in
+  check_bool "first is a miss" false (bool_field "cached" first);
+  let second = rpc t (compile_req sample_qasm) in
+  check_bool "identical request hits" true (bool_field "cached" second);
+  check_string "hit is byte-identical to the miss"
+    (J.to_string (field "report" first))
+    (J.to_string (field "report" second));
+  (* One changed character of source misses. *)
+  let tweaked = sample_qasm ^ "t q[0];\n" in
+  check_bool "changed source misses" false
+    (bool_field "cached" (rpc t (compile_req tweaked)));
+  (* Same source, different device misses. *)
+  check_bool "changed device misses" false
+    (bool_field "cached" (rpc t (compile_req ~device:"ibmqx2" sample_qasm)));
+  (* Same source and device, one changed option misses. *)
+  check_bool "changed option misses" false
+    (bool_field "cached"
+       (rpc t
+          (compile_req
+             ~options:[ ("verification", J.String "skip") ]
+             sample_qasm)));
+  let stats = field "stats" (rpc t [ ("op", J.String "stats") ]) in
+  let cache = field "cache" stats in
+  check_int "hits" 1 (int_field "hits" cache);
+  check_int "misses" 4 (int_field "misses" cache);
+  check_int "resident" 4 (int_field "size" cache)
+
+let test_lru_eviction () =
+  let t = Serve.create ~cache_capacity:2 () in
+  let source_a = sample_qasm in
+  let source_b = sample_qasm ^ "x q[0];\n" in
+  let source_c = sample_qasm ^ "z q[0];\n" in
+  let compile s = bool_field "cached" (rpc t (compile_req s)) in
+  check_bool "A misses" false (compile source_a);
+  check_bool "B misses" false (compile source_b);
+  check_bool "A hits" true (compile source_a);
+  (* Capacity 2: inserting C evicts the least-recently-used entry,
+     which is B (A was just touched). *)
+  check_bool "C misses" false (compile source_c);
+  check_bool "B was evicted" false (compile source_b);
+  check_bool "A was evicted by B's re-insert" false (compile source_a);
+  let cache = field "cache" (field "stats" (rpc t [ ("op", J.String "stats") ])) in
+  (* Three capacity-exceeding inserts: C evicted B, B's re-insert
+     evicted A, A's re-insert evicted C. *)
+  check_int "evictions" 3 (int_field "evictions" cache);
+  check_int "bounded" 2 (int_field "size" cache)
+
+let test_zero_capacity_disables_caching () =
+  let t = Serve.create ~cache_capacity:0 () in
+  ignore (rpc t (compile_req sample_qasm));
+  let second = rpc t (compile_req sample_qasm) in
+  check_bool "nothing cached" false (bool_field "cached" second)
+
+(* --- error-code mapping --- *)
+
+let diagnostic_kind r =
+  match field "diagnostics" r with
+  | J.List (d :: _) -> (
+    match J.member "kind" d with Some (J.String k) -> k | _ -> "?")
+  | _ -> "?"
+
+let test_malformed_frames_are_misuse () =
+  let t = Serve.create () in
+  let misuse =
+    [
+      "definitely not json";
+      "{\"op\":";
+      "[1,2,3]";
+      "{\"op\":42}";
+      J.to_string (J.Obj [ ("op", J.String "transmogrify") ]);
+      J.to_string
+        (J.Obj (compile_req ~device:"nosuchdevice" sample_qasm));
+      J.to_string
+        (J.Obj
+           (compile_req
+              ~options:[ ("not_an_option", J.Bool true) ]
+              sample_qasm));
+      {|{"op":"compile","source":17,"device":"ibmqx4"}|};
+      {|{"op":"batch","requests":{}}|};
+    ]
+  in
+  List.iter
+    (fun frame ->
+      let r = parse_response (Serve.handle_line t frame) in
+      check_int (Printf.sprintf "misuse code for %s" frame) 124
+        (int_field "code" r);
+      check_bool "not ok" false (bool_field "ok" r);
+      check_string
+        (Printf.sprintf "protocol kind for %s" frame)
+        "protocol" (diagnostic_kind r))
+    misuse
+
+let test_missing_fields_are_reported_failures () =
+  let t = Serve.create () in
+  List.iter
+    (fun fields ->
+      let r = rpc t fields in
+      check_int "reported-failure code" 123 (int_field "code" r))
+    [
+      [ ("source", J.String sample_qasm) ];
+      (* no op *)
+      [ ("op", J.String "compile"); ("source", J.String sample_qasm) ];
+      [ ("op", J.String "compile"); ("device", J.String "ibmqx4") ];
+      [ ("op", J.String "batch") ];
+    ]
+
+let test_parse_errors_are_reported_failures () =
+  let t = Serve.create () in
+  let r = rpc t (compile_req "OPENQASM 2.0;\nqreg q[2];\nbogus q[0];\n") in
+  check_int "parse failure code" 123 (int_field "code" r);
+  check_string "parse kind" "parse" (diagnostic_kind r)
+
+(* --- batch --- *)
+
+let test_batch_aggregates () =
+  let t = Serve.create () in
+  let entry fields = J.Obj fields in
+  let r =
+    rpc t
+      [
+        ("op", J.String "batch");
+        ( "requests",
+          J.List
+            [
+              entry (List.tl (compile_req sample_qasm));
+              entry [ ("device", J.String "ibmqx4") ];
+              (* missing source: 123 *)
+              entry (List.tl (compile_req ~device:"nosuch" sample_qasm));
+              (* unknown device: 124 *)
+            ] );
+      ]
+  in
+  check_int "total" 3 (int_field "total" r);
+  check_int "failed" 2 (int_field "failed" r);
+  (* Aggregate severity is the worst lane that occurred. *)
+  check_int "envelope code" 124 (int_field "code" r);
+  (match field "results" r with
+  | J.List [ a; b; c ] ->
+    check_int "first entry ok" 0 (int_field "code" a);
+    check_int "missing source" 123 (int_field "code" b);
+    check_int "unknown device" 124 (int_field "code" c)
+  | v -> Alcotest.failf "results: %s" (J.to_string v));
+  (* A batch miss populates the cache for later singles. *)
+  check_bool "single after batch hits" true
+    (bool_field "cached" (rpc t (compile_req sample_qasm)))
+
+(* --- the socket layer --- *)
+
+let temp_socket_path () =
+  let path = Filename.temp_file "qsynth-serve-test" ".sock" in
+  Sys.remove path;
+  path
+
+let test_concurrent_clients_loopback () =
+  (* Two clients over a real Unix socket, racing the same compile and
+     one distinct compile each.  Every response for the shared request
+     must be byte-identical to the one-shot compile — whichever client
+     took the cache miss. *)
+  let path = temp_socket_path () in
+  let address = Serve.Unix_socket path in
+  let daemon = Serve.create () in
+  let server = Thread.create (fun () -> Serve.serve daemon address) () in
+  let rec connect retries =
+    match Serve.Client.connect address with
+    | conn -> conn
+    | exception _ when retries > 0 ->
+      Thread.delay 0.02;
+      connect (retries - 1)
+    | exception e -> raise e
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let conn = connect 5 in
+         ignore (Serve.Client.request conn {|{"op":"shutdown"}|});
+         Serve.Client.close conn
+       with _ -> ());
+      Thread.join server;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let own_source i = sample_qasm ^ Printf.sprintf "x q[%d];\n" i in
+      let results = [| None; None |] in
+      let client i () =
+        let conn = connect 100 in
+        Fun.protect
+          ~finally:(fun () -> Serve.Client.close conn)
+          (fun () ->
+            let ask req =
+              parse_response
+                (Serve.Client.request conn (J.to_string (J.Obj req)))
+            in
+            let shared = ask (compile_req sample_qasm) in
+            let own = ask (compile_req (own_source i)) in
+            results.(i) <- Some (shared, own))
+      in
+      let t0 = Thread.create (client 0) () in
+      let t1 = Thread.create (client 1) () in
+      Thread.join t0;
+      Thread.join t1;
+      let expected = J.to_string (one_shot_report_json sample_qasm) in
+      Array.iteri
+        (fun i result ->
+          match result with
+          | None -> Alcotest.failf "client %d produced no result" i
+          | Some (shared, own) ->
+            check_int "shared ok" 0 (int_field "code" shared);
+            check_string
+              (Printf.sprintf "client %d shared report is byte-identical" i)
+              expected
+              (J.to_string (field "report" shared));
+            check_int "own ok" 0 (int_field "code" own))
+        results;
+      (* Exactly one of the two racing shared compiles was a miss. *)
+      let cached_flags =
+        Array.to_list results
+        |> List.map (function
+             | Some (shared, _) -> bool_field "cached" shared
+             | None -> false)
+      in
+      check_int "one hit, one miss on the shared request" 1
+        (List.length (List.filter Fun.id cached_flags)))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "ping and envelope" `Quick test_ping_and_envelope;
+          Alcotest.test_case "compile matches one-shot" `Quick
+            test_compile_matches_one_shot;
+          Alcotest.test_case "malformed frames are misuse" `Quick
+            test_malformed_frames_are_misuse;
+          Alcotest.test_case "missing fields are reported failures" `Quick
+            test_missing_fields_are_reported_failures;
+          Alcotest.test_case "parse errors are reported failures" `Quick
+            test_parse_errors_are_reported_failures;
+          Alcotest.test_case "batch aggregates" `Quick test_batch_aggregates;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit and key sensitivity" `Quick
+            test_cache_hit_and_key_sensitivity;
+          Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "zero capacity disables" `Quick
+            test_zero_capacity_disables_caching;
+        ] );
+      ( "sockets",
+        [
+          Alcotest.test_case "concurrent clients over loopback" `Quick
+            test_concurrent_clients_loopback;
+        ] );
+    ]

@@ -264,6 +264,24 @@ let test_optimize_iterations_count_accepted_sweeps () =
   check_int "capped: spans = iterations" capped.Optimize.iterations
     (List.length (Trace.spans t2))
 
+(* --- named counters --- *)
+
+let test_named_counters () =
+  let t = Trace.create () in
+  check_bool "fresh sink has no counters" true (Trace.counter_totals t = []);
+  Trace.bump t "hits" 1.0;
+  Trace.bump t "misses" 1.0;
+  Trace.bump t "hits" 2.0;
+  check_bool "accumulated and sorted" true
+    (Trace.counter_totals t = [ ("hits", 3.0); ("misses", 1.0) ]);
+  (* Counters live beside spans, not inside them. *)
+  check_int "no spans from bumps" 0 (List.length (Trace.spans t))
+
+let test_named_counters_disabled_free () =
+  let t = Trace.disabled in
+  Trace.bump t "hits" 1.0;
+  check_bool "disabled sink stays empty" true (Trace.counter_totals t = [])
+
 let () =
   Alcotest.run "trace"
     [
@@ -295,5 +313,11 @@ let () =
             test_optimize_iteration_spans;
           Alcotest.test_case "optimize iterations count accepted sweeps"
             `Quick test_optimize_iterations_count_accepted_sweeps;
+        ] );
+      ( "named counters",
+        [
+          Alcotest.test_case "bump accumulates" `Quick test_named_counters;
+          Alcotest.test_case "disabled sink is free" `Quick
+            test_named_counters_disabled_free;
         ] );
     ]
