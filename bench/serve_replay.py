@@ -16,13 +16,30 @@ serve contract end to end:
     codes (123 reported failure / 124 protocol misuse), never 125 and
     never a dropped connection.
 
-Usage: python3 bench/serve_replay.py SOCKET_PATH [DEVICE]
+Usage: python3 bench/serve_replay.py SOCKET_PATH [DEVICE] [flags]
+
+Flags (for the robustness / warm-restart CI cycles):
+
+  --single-pass          compile the suite once and skip the
+                         second-pass determinism + batch checks
+  --expect-warm-hits     assert this pass was served >= 90% from cache
+                         (a daemon restarted over a persistent cache
+                         must answer warm)
+  --save-reports FILE    write the canonical report of every benchmark
+                         to FILE as JSON
+  --check-reports FILE   assert every report is byte-identical to the
+                         ones saved in FILE by an earlier run
+  --chaos                interleave transport faults with the replay:
+                         torn frames, disconnects before the response,
+                         junk frames, and connection bursts; the
+                         daemon must keep serving the real client
 
 Exits 0 on success, 1 on any contract violation.  The daemon is left
 running (shutdown is the caller's job, so one daemon can serve several
 checks).
 """
 
+import argparse
 import json
 import os
 import socket
@@ -90,10 +107,71 @@ def get_stats(client):
     return resp["stats"]
 
 
-def replay_pass(client, files, device, label):
-    """Compile every benchmark once; return {path: canonical report}."""
+def chaos_round(sock_path, i):
+    """One round of transport mistreatment: a torn frame, a request
+    dropped before its response, and a junk frame that must come back
+    as a structured protocol error.  None of it may disturb the real
+    replay connection."""
+
+    def raw():
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.settimeout(10.0)
+        s.connect(sock_path)
+        return s
+
+    # Torn frame: half a compile request, no newline, then gone.
+    s = raw()
+    s.sendall(b'{"op":"compile","source":"OPENQ')
+    s.close()
+
+    # Disconnect before the response: the daemon's write hits EPIPE.
+    s = raw()
+    s.sendall(b'{"op":"ping","id":"chaos-drop"}\n')
+    s.close()
+
+    # Junk frame on a live connection: must be answered with a
+    # structured envelope (123/124), never a dropped connection.
+    s = raw()
+    s.sendall(f'chaos junk {i}\n'.encode("utf-8"))
+    line = s.makefile("r", encoding="utf-8").readline()
+    if not line:
+        fail(f"chaos round {i}: junk frame closed the connection")
+    else:
+        code = check_envelope(json.loads(line), f"chaos round {i} junk")
+        if code not in (123, 124):
+            fail(f"chaos round {i}: junk frame answered {code}")
+    s.close()
+
+
+def chaos_burst(sock_path, n=6):
+    """n pings racing the admission queue: every connection must get a
+    valid envelope (an overloaded shed is valid) or a clean close."""
+    socks = []
+    for _ in range(n):
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.settimeout(10.0)
+        s.connect(sock_path)
+        socks.append(s)
+    for s in socks:
+        s.sendall(b'{"op":"ping","id":"chaos-burst"}\n')
+    for i, s in enumerate(socks):
+        line = s.makefile("r", encoding="utf-8").readline()
+        if line:
+            check_envelope(json.loads(line), f"burst client {i}")
+        s.close()
+
+
+def replay_pass(client, files, device, label, chaos_path=None):
+    """Compile every benchmark once; return {path: canonical report}.
+
+    With chaos_path set, every fourth benchmark is preceded by a round
+    of transport faults against fresh connections."""
     reports = {}
-    for path, fmt in files:
+    for idx, (path, fmt) in enumerate(files):
+        if chaos_path and idx % 4 == 0:
+            chaos_round(chaos_path, idx)
+        if chaos_path and idx % 16 == 8:
+            chaos_burst(chaos_path)
         with open(path, encoding="utf-8") as f:
             source = f.read()
         resp = client.request(
@@ -149,46 +227,84 @@ def check_malformed_batch(client):
 
 
 def main():
-    if len(sys.argv) < 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    sock_path = sys.argv[1]
-    device = sys.argv[2] if len(sys.argv) > 2 else "ibmqx5"
+    ap = argparse.ArgumentParser(
+        description="Replay the benchmark suite through a qsc serve daemon."
+    )
+    ap.add_argument("socket", help="path to the daemon's Unix socket")
+    ap.add_argument("device", nargs="?", default="ibmqx5")
+    ap.add_argument("--single-pass", action="store_true")
+    ap.add_argument("--expect-warm-hits", action="store_true")
+    ap.add_argument("--save-reports", metavar="FILE")
+    ap.add_argument("--check-reports", metavar="FILE")
+    ap.add_argument("--chaos", action="store_true")
+    args = ap.parse_args()
+
+    sock_path = args.socket
+    device = args.device
+    chaos_path = sock_path if args.chaos else None
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
     files = benchmark_files(root)
     if not files:
         fail("no benchmark files found")
         return 1
+    n = len(files)
 
     client = Client(sock_path)
     try:
         ping = client.request({"op": "ping", "id": "replay"})
         check_envelope(ping, "ping")
 
-        first = replay_pass(client, files, device, "pass1")
         before = get_stats(client)
-        second = replay_pass(client, files, device, "pass2")
-        after = get_stats(client)
+        first = replay_pass(client, files, device, "pass1", chaos_path)
+        after_first = get_stats(client)
 
-        for path in first:
-            if first[path] != second[path]:
-                fail(f"{path}: second-pass report differs from first")
+        if args.expect_warm_hits:
+            # A daemon restarted over a persistent cache dir must serve
+            # the very first pass warm, not recompile the suite.
+            hits = after_first["cache"]["hits"] - before["cache"]["hits"]
+            print(f"warm pass: {hits}/{n} cache hits")
+            if hits < 0.9 * n:
+                fail(f"warm hit rate {hits}/{n} below the 90% floor")
 
-        hits = after["cache"]["hits"] - before["cache"]["hits"]
-        n = len(files)
-        print(f"second pass: {hits}/{n} cache hits")
-        if hits < 0.9 * n:
-            fail(f"cache hit rate {hits}/{n} below the 90% floor")
+        if not args.single_pass:
+            second = replay_pass(client, files, device, "pass2", chaos_path)
+            after_second = get_stats(client)
 
-        check_malformed_batch(client)
+            for path in first:
+                if first[path] != second[path]:
+                    fail(f"{path}: second-pass report differs from first")
+
+            hits = after_second["cache"]["hits"] - after_first["cache"]["hits"]
+            print(f"second pass: {hits}/{n} cache hits")
+            if hits < 0.9 * n:
+                fail(f"cache hit rate {hits}/{n} below the 90% floor")
+
+            check_malformed_batch(client)
+
+        if args.save_reports:
+            with open(args.save_reports, "w", encoding="utf-8") as f:
+                json.dump(first, f)
+            print(f"saved {n} canonical reports to {args.save_reports}")
+
+        if args.check_reports:
+            with open(args.check_reports, encoding="utf-8") as f:
+                saved = json.load(f)
+            for path in first:
+                if path not in saved:
+                    fail(f"{path}: missing from {args.check_reports}")
+                elif first[path] != saved[path]:
+                    fail(f"{path}: report differs from the saved run")
+            print(f"checked {n} reports against {args.check_reports}")
     finally:
         client.close()
 
     if failures:
         print(f"{failures} contract violation(s)", file=sys.stderr)
         return 1
-    print(f"serve replay ok: {len(files)} benchmarks x2 on {device}")
+    passes = "x1" if args.single_pass else "x2"
+    chaos = " under chaos" if args.chaos else ""
+    print(f"serve replay ok: {n} benchmarks {passes} on {device}{chaos}")
     return 0
 
 

@@ -1198,7 +1198,78 @@ let serve_cmd =
             "Stop after answering $(docv) requests (bounded runs for tests \
              and CI; default: serve until a shutdown request).")
   in
-  let run socket port cache_size max_deadline max_requests =
+  let cache_bytes =
+    Arg.(
+      value
+      & opt int (64 * 1024 * 1024)
+      & info [ "cache-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Report-cache byte budget (sum of serialized payloads; LRU \
+             eviction past it; 0 removes the byte bound).")
+  in
+  let persist_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "persist-dir" ] ~docv:"DIR"
+          ~doc:
+            "Spill the report cache to $(docv) (atomic one-file-per-digest \
+             writes) and warm a fresh daemon from it, so reports survive a \
+             crash or restart.")
+  in
+  let max_workers =
+    Arg.(
+      value & opt int 8
+      & info [ "max-workers" ] ~docv:"N"
+          ~doc:"Connection worker pool size (fixed; the pool never grows).")
+  in
+  let max_pending =
+    Arg.(
+      value & opt int 32
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Admission-queue bound; connections beyond it are shed with an \
+             \"overloaded\" response instead of queuing without limit.")
+  in
+  let read_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "read-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-connection deadline for reading one request frame (and for \
+             writing the response); stalled peers are disconnected.")
+  in
+  let max_frame_bytes =
+    Arg.(
+      value
+      & opt int (4 * 1024 * 1024)
+      & info [ "max-frame-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Request-line cap; longer frames are answered with a 124 \
+             protocol diagnostic instead of being buffered without bound.")
+  in
+  let watchdog_grace =
+    Arg.(
+      value & opt float 5.0
+      & info [ "watchdog-grace" ] ~docv:"SECONDS"
+          ~doc:
+            "How long past the --max-deadline ceiling the supervisor waits \
+             before abandoning a wedged request and answering 125 on its \
+             behalf (0 disables supervision).")
+  in
+  let max_request_mb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-request-mb" ] ~docv:"MB"
+          ~doc:
+            "Per-request allocation budget in megabytes (sampled via GC \
+             alarms); a request allocating past it is aborted with a 125 \
+             diagnostic.  Default: unlimited.")
+  in
+  let run socket port cache_size max_deadline max_requests cache_bytes
+      persist_dir max_workers max_pending read_timeout max_frame_bytes
+      watchdog_grace max_request_mb =
     let address =
       match (socket, port) with
       | Some path, None -> Ok (Serve.Unix_socket path)
@@ -1210,24 +1281,45 @@ let serve_cmd =
     | Error e -> Error e
     | Ok address ->
       if cache_size < 0 then Error (`Msg "--cache-size must be >= 0")
+      else if cache_bytes < 0 then Error (`Msg "--cache-bytes must be >= 0")
       else if max_deadline <= 0.0 then
         Error (`Msg "--max-deadline must be positive")
+      else if max_workers < 1 then Error (`Msg "--max-workers must be >= 1")
+      else if max_pending < 1 then Error (`Msg "--max-pending must be >= 1")
+      else if read_timeout <= 0.0 then
+        Error (`Msg "--read-timeout must be positive")
+      else if max_frame_bytes <= 0 then
+        Error (`Msg "--max-frame-bytes must be positive")
+      else if watchdog_grace < 0.0 then
+        Error (`Msg "--watchdog-grace must be >= 0")
+      else if (match max_request_mb with Some n -> n <= 0 | None -> false)
+      then Error (`Msg "--max-request-mb must be positive")
       else begin
+        let max_request_bytes =
+          Option.map (fun mb -> mb * 1024 * 1024) max_request_mb
+        in
         let daemon =
-          Serve.create ~cache_capacity:cache_size
-            ~max_deadline_seconds:max_deadline ()
+          Serve.create ~cache_capacity:cache_size ~max_cache_bytes:cache_bytes
+            ?persist_dir ~max_deadline_seconds:max_deadline ~max_frame_bytes
+            ~watchdog_grace_seconds:watchdog_grace ?max_request_bytes
+            ~read_timeout_seconds:read_timeout ~max_workers ~max_pending ()
         in
         (* Readiness line on stdout: harnesses wait for it before
            connecting. *)
         Printf.printf "qsynth-serve/v1 listening on %s\n%!"
           (Serve.address_to_string address);
         Serve.serve ?max_requests daemon address;
-        let requests, hits, misses, evictions, size = Serve.stats daemon in
+        let c = Serve.stats daemon in
         Printf.printf
           "served %d request(s); cache: %d hit(s), %d miss(es), %d \
-           eviction(s), %d resident\n\
+           eviction(s), %d resident (%d bytes, %d warmed); overload: %d \
+           shed, %d drained; supervision: %d watchdog, %d allocation; \
+           connections: %d served, %d disconnect(s)\n\
            %!"
-          requests hits misses evictions size;
+          c.Serve.requests c.Serve.hits c.Serve.misses c.Serve.evictions
+          c.Serve.resident c.Serve.resident_bytes c.Serve.warmed c.Serve.shed
+          c.Serve.drained c.Serve.watchdog_trips c.Serve.alloc_trips
+          c.Serve.connections_served c.Serve.client_disconnects;
         Ok ()
       end
   in
@@ -1240,7 +1332,10 @@ let serve_cmd =
           Responses carry a \"code\" field mirroring the exit contract: 0 \
           success, 123 reported failure, 124 protocol misuse, 125 internal \
           error.  See the README \"Serving\" section for the protocol.")
-    Term.(const run $ socket $ port $ cache_size $ max_deadline $ max_requests)
+    Term.(
+      const run $ socket $ port $ cache_size $ max_deadline $ max_requests
+      $ cache_bytes $ persist_dir $ max_workers $ max_pending $ read_timeout
+      $ max_frame_bytes $ watchdog_grace $ max_request_mb)
 
 let main =
   let info =

@@ -82,3 +82,113 @@ let hook h stage c =
     c mine
 
 let fired h = List.rev h.fired
+
+(* --- the socket-layer fault plane ----------------------------------- *)
+
+module Socket = struct
+  type fault =
+    | Torn_frame of int
+    | Disconnect_before_read
+    | Stalled_write of int
+    | Stalled_read of int
+
+  type event =
+    | Request of { fault : fault option; frame : string }
+    | Burst of int
+
+  type plan = event list
+
+  let fault_to_string = function
+    | Torn_frame k -> Printf.sprintf "torn@%d" k
+    | Disconnect_before_read -> "drop"
+    | Stalled_write ms -> Printf.sprintf "stallw@%d" ms
+    | Stalled_read ms -> Printf.sprintf "stallr@%d" ms
+
+  let event_to_string = function
+    | Request { fault = None; frame } -> "req " ^ frame
+    | Request { fault = Some f; frame } -> fault_to_string f ^ " " ^ frame
+    | Burst n -> Printf.sprintf "burst@%d" n
+
+  let plan_to_string plan =
+    String.concat "\n" (List.map event_to_string plan) ^ "\n"
+
+  let parse_tag tag =
+    let split_at name =
+      let prefix = name ^ "@" in
+      let plen = String.length prefix in
+      if
+        String.length tag > plen
+        && String.sub tag 0 plen = prefix
+      then int_of_string_opt (String.sub tag plen (String.length tag - plen))
+      else None
+    in
+    if tag = "req" then Some `Plain
+    else if tag = "drop" then Some `Drop
+    else
+      match split_at "torn" with
+      | Some k -> Some (`Torn k)
+      | None -> (
+        match split_at "stallw" with
+        | Some ms -> Some (`Stallw ms)
+        | None -> (
+          match split_at "stallr" with
+          | Some ms -> Some (`Stallr ms)
+          | None -> (
+            match split_at "burst" with
+            | Some n -> Some (`Burst n)
+            | None -> None)))
+
+  let event_of_string line =
+    let tag, rest =
+      match String.index_opt line ' ' with
+      | Some i ->
+        ( String.sub line 0 i,
+          String.sub line (i + 1) (String.length line - i - 1) )
+      | None -> (line, "")
+    in
+    match parse_tag tag with
+    | Some `Plain -> Ok (Request { fault = None; frame = rest })
+    | Some `Drop ->
+      Ok (Request { fault = Some Disconnect_before_read; frame = rest })
+    | Some (`Torn k) when k >= 0 ->
+      Ok (Request { fault = Some (Torn_frame k); frame = rest })
+    | Some (`Stallw ms) when ms >= 0 ->
+      Ok (Request { fault = Some (Stalled_write ms); frame = rest })
+    | Some (`Stallr ms) when ms >= 0 ->
+      Ok (Request { fault = Some (Stalled_read ms); frame = rest })
+    | Some (`Burst n) when n >= 1 && rest = "" -> Ok (Burst n)
+    | Some (`Torn _ | `Stallw _ | `Stallr _ | `Burst _) | None ->
+      Error (Printf.sprintf "unparseable chaos event %S" line)
+
+  let plan_of_string text =
+    let lines =
+      String.split_on_char '\n' text
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest -> (
+        match event_of_string line with
+        | Ok event -> go (event :: acc) rest
+        | Error _ as e -> e)
+    in
+    go [] lines
+
+  (* Stall durations stay well under any realistic read deadline: the
+     point is a peer that is slow, not one that has silently gone. *)
+  let random_event rng ~frame =
+    match Random.State.int rng 6 with
+    | 0 | 1 -> Request { fault = None; frame }
+    | 2 ->
+      let k = Random.State.int rng (max 1 (String.length frame)) in
+      Request { fault = Some (Torn_frame k); frame }
+    | 3 -> Request { fault = Some Disconnect_before_read; frame }
+    | 4 ->
+      Request
+        { fault = Some (Stalled_write (5 + Random.State.int rng 56)); frame }
+    | _ ->
+      Request
+        { fault = Some (Stalled_read (2 + Random.State.int rng 29)); frame }
+
+  let random_burst rng = Burst (2 + Random.State.int rng 5)
+end

@@ -68,3 +68,59 @@ val hook : t -> Diagnostic.stage -> Circuit.t -> Circuit.t
     order — a spec whose stage never ran (e.g. [Place] without
     placement enabled) never fires, and tests can tell. *)
 val fired : t -> spec list
+
+(** The socket-layer fault plane: deterministic chaos plans for the
+    serve daemon's transport.  This module is pure — types, a stable
+    line-oriented serialization (so fuzz counterexamples replay from
+    disk), and seeded generators; the executor that actually opens
+    sockets and tears frames lives with the fuzz harness. *)
+module Socket : sig
+  (** How to mistreat the transport around one request. *)
+  type fault =
+    | Torn_frame of int
+        (** send only the first [k] bytes of the frame, no newline,
+            then close — the daemon must drop the partial frame on EOF
+            and stay up *)
+    | Disconnect_before_read
+        (** send the whole frame, then close without reading the
+            response — the daemon's write hits [EPIPE] and must degrade
+            that connection only *)
+    | Stalled_write of int
+        (** dribble the request bytes with a total stall of [ms]
+            milliseconds (below the read deadline: a slow peer, not a
+            dead one) — the response must still arrive and validate *)
+    | Stalled_read of int
+        (** send the frame, wait [ms] milliseconds before reading the
+            response — exercises the daemon's bounded response write *)
+
+  type event =
+    | Request of { fault : fault option; frame : string }
+        (** one connection carrying one frame, mistreated per [fault]
+            ([None] = a well-behaved request whose response must
+            validate) *)
+    | Burst of int
+        (** [n] concurrent ping connections racing the admission queue:
+            every one must get either a valid envelope (including an
+            [overloaded] shed) or a clean close — never a hang or a
+            daemon crash *)
+
+  (** A chaos plan: events executed in order against a live daemon. *)
+  type plan = event list
+
+  val event_to_string : event -> string
+
+  (** One event per line ([req F] / [torn@K F] / [drop F] /
+      [stallw@MS F] / [stallr@MS F] / [burst@N]); frames are
+      single-line JSON so the framing never collides. *)
+  val plan_to_string : plan -> string
+
+  val event_of_string : string -> (event, string) result
+  val plan_of_string : string -> (plan, string) result
+
+  (** [random_event rng ~frame] wraps [frame] in a random transport
+      mistreatment (or none); [random_burst rng] is a small random
+      connection burst. *)
+  val random_event : Random.State.t -> frame:string -> event
+
+  val random_burst : Random.State.t -> event
+end

@@ -889,6 +889,108 @@ module Property = struct
         | _ -> wrong_case "absint-sound");
     }
 
+  (* Shared by the two serve properties (serve-protocol, serve-chaos).
+     A response is a valid envelope iff it parses as JSON, claims
+     protocol qsynth-serve/v1, carries code 0/123/124/125 and has [ok]
+     true exactly when the code is 0. *)
+  let serve_validate_envelope frame response =
+    let module J = Trace.Json in
+    match J.of_string response with
+    | Error msg ->
+      Some
+        (Printf.sprintf "unparseable response %S to frame %S: %s" response
+           frame msg)
+    | Ok j -> (
+      let code =
+        match J.member "code" j with Some (J.Int c) -> Some c | _ -> None
+      in
+      let ok =
+        match J.member "ok" j with Some (J.Bool b) -> Some b | _ -> None
+      in
+      let proto =
+        match J.member "protocol" j with
+        | Some (J.String s) -> Some s
+        | _ -> None
+      in
+      match (proto, code, ok) with
+      | Some "qsynth-serve/v1", Some code, Some ok ->
+        if not (List.mem code [ 0; 123; 124; 125 ]) then
+          Some (Printf.sprintf "response to %S has code %d" frame code)
+        else if ok <> (code = 0) then
+          Some
+            (Printf.sprintf "response to %S: ok=%b but code=%d" frame ok
+               code)
+        else None
+      | _ ->
+        Some
+          (Printf.sprintf "response to %S is not a qsynth-serve/v1 envelope"
+             frame))
+
+  (* One random qsynth-serve/v1 frame: valid compiles and batches,
+     stats/ping/shutdown probes, and deliberately malformed junk.
+     Shared by the serve-protocol and serve-chaos generators. *)
+  let serve_frame cfg st =
+    let module J = Trace.Json in
+    let device st =
+      Gen.choose [ "ibmqx4"; "ibmqx2"; "ibmq_16"; "perovskite" ] st
+    in
+    let source st =
+      let c =
+        Gen.circuit ~gate:qasm_gate ~max_qubits:(min 4 cfg.max_qubits)
+          ~max_gates:(min 10 cfg.max_gates) st
+      in
+      Qformats.Qasm.to_string c
+    in
+    let options st =
+      match Gen.int 5 st with
+      | 0 -> []
+      | 1 -> [ ("verification", J.String "skip") ]
+      | 2 ->
+        [
+          ("verification", J.String "qmdd"); ("node_budget", J.Int 200_000);
+        ]
+      | 3 -> [ ("deadline_seconds", J.Float 2.0) ]
+      | _ -> [ ("not_an_option", J.Bool true) ]
+    in
+    let compile_obj st =
+      [
+        ("op", J.String "compile");
+        ("source", J.String (source st));
+        ("device", J.String (device st));
+        ("options", J.Obj (options st));
+      ]
+    in
+    match Gen.int 12 st with
+    | 0 -> {|{"op":"ping"}|}
+    | 1 -> {|{"op":"stats"}|}
+    | 2 -> {|{"op":"shutdown"}|}
+    | 3 -> J.to_string (J.Obj [ ("op", J.String "transmogrify") ])
+    | 4 ->
+      (* structurally broken on purpose *)
+      Gen.choose
+        [
+          "not json at all";
+          "{\"op\":";
+          "[1,2,3]";
+          "{\"op\":42}";
+          "{\"source\":\"x\"}";
+          {|{"op":"compile","source":17,"device":"ibmqx4"}|};
+          {|{"op":"compile","source":"","device":"nosuch"}|};
+          {|{"op":"batch","requests":{}}|};
+        ]
+        st
+    | 5 ->
+      J.to_string
+        (J.Obj
+           [
+             ("op", J.String "batch");
+             ( "requests",
+               J.List
+                 (List.init (Gen.int 3 st) (fun _ ->
+                      J.Obj (List.tl (compile_obj st)))) );
+           ])
+    | _ -> J.to_string (J.Obj (compile_obj st))
+
   (* 12. Protocol totality and determinism of the serve daemon
      (lib/serve).  A case is a stream of qsynth-serve/v1 frames, one
      per line — valid compiles, batches, stats/ping/shutdown probes,
@@ -906,38 +1008,7 @@ module Property = struct
         J.Obj (List.filter (fun (k, _) -> k <> "seconds") fields)
       | other -> other
     in
-    let validate_envelope frame response =
-      match J.of_string response with
-      | Error msg ->
-        Some
-          (Printf.sprintf "unparseable response %S to frame %S: %s" response
-             frame msg)
-      | Ok j -> (
-        let code =
-          match J.member "code" j with Some (J.Int c) -> Some c | _ -> None
-        in
-        let ok =
-          match J.member "ok" j with Some (J.Bool b) -> Some b | _ -> None
-        in
-        let proto =
-          match J.member "protocol" j with
-          | Some (J.String s) -> Some s
-          | _ -> None
-        in
-        match (proto, code, ok) with
-        | Some "qsynth-serve/v1", Some code, Some ok ->
-          if not (List.mem code [ 0; 123; 124; 125 ]) then
-            Some (Printf.sprintf "response to %S has code %d" frame code)
-          else if ok <> (code = 0) then
-            Some
-              (Printf.sprintf "response to %S: ok=%b but code=%d" frame ok
-                 code)
-          else None
-        | _ ->
-          Some
-            (Printf.sprintf "response to %S is not a qsynth-serve/v1 envelope"
-               frame))
-    in
+    let validate_envelope = serve_validate_envelope in
     let frames_of_text text =
       List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
     in
@@ -1038,70 +1109,8 @@ module Property = struct
       paper = "Sec. 5 (robustness of the pipeline)";
       gen =
         (fun cfg st ->
-          let device st =
-            Gen.choose [ "ibmqx4"; "ibmqx2"; "ibmq_16"; "perovskite" ] st
-          in
-          let source st =
-            let c =
-              Gen.circuit ~gate:qasm_gate ~max_qubits:(min 4 cfg.max_qubits)
-                ~max_gates:(min 10 cfg.max_gates) st
-            in
-            Qformats.Qasm.to_string c
-          in
-          let options st =
-            match Gen.int 5 st with
-            | 0 -> []
-            | 1 -> [ ("verification", J.String "skip") ]
-            | 2 ->
-              [
-                ("verification", J.String "qmdd");
-                ("node_budget", J.Int 200_000);
-              ]
-            | 3 -> [ ("deadline_seconds", J.Float 2.0) ]
-            | _ -> [ ("not_an_option", J.Bool true) ]
-          in
-          let compile_obj st =
-            [
-              ("op", J.String "compile");
-              ("source", J.String (source st));
-              ("device", J.String (device st));
-              ("options", J.Obj (options st));
-            ]
-          in
-          let frame st =
-            match Gen.int 12 st with
-            | 0 -> {|{"op":"ping"}|}
-            | 1 -> {|{"op":"stats"}|}
-            | 2 -> {|{"op":"shutdown"}|}
-            | 3 -> J.to_string (J.Obj [ ("op", J.String "transmogrify") ])
-            | 4 ->
-              (* structurally broken on purpose *)
-              Gen.choose
-                [
-                  "not json at all";
-                  "{\"op\":";
-                  "[1,2,3]";
-                  "{\"op\":42}";
-                  "{\"source\":\"x\"}";
-                  {|{"op":"compile","source":17,"device":"ibmqx4"}|};
-                  {|{"op":"compile","source":"","device":"nosuch"}|};
-                  {|{"op":"batch","requests":{}}|};
-                ]
-                st
-            | 5 ->
-              J.to_string
-                (J.Obj
-                   [
-                     ("op", J.String "batch");
-                     ( "requests",
-                       J.List
-                         (List.init (Gen.int 3 st) (fun _ ->
-                              J.Obj (List.tl (compile_obj st)))) );
-                   ])
-            | _ -> J.to_string (J.Obj (compile_obj st))
-          in
           let n = 1 + Gen.int 8 st in
-          let frames = List.init n (fun _ -> frame st) in
+          let frames = List.init n (fun _ -> serve_frame cfg st) in
           Source_case { ext = ".serve"; text = String.concat "\n" frames });
       check =
         (function
@@ -1119,6 +1128,329 @@ module Property = struct
         | _ -> wrong_case "serve-protocol");
     }
 
+  (* 13. Daemon liveness under socket-layer chaos (lib/serve +
+     Faultinject.Socket).  A case is a chaos plan, one transport event
+     per line: well-behaved requests, torn frames, disconnects before
+     the response, sub-deadline stalls, and concurrent connection
+     bursts, carrying the same frame mix serve-protocol uses — while
+     every third compile inside the daemon raises mid-pipeline.  The
+     check replays the plan against a live loopback daemon with tight
+     budgets; every response that arrives must be a valid envelope,
+     and after the plan the daemon must still answer ping, stats and a
+     clean compile with code 0 — the accept loop never dies. *)
+  let serve_chaos =
+    let module S = Faultinject.Socket in
+    let connect path =
+      let rec go retries =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match Unix.connect fd (Unix.ADDR_UNIX path) with
+        | () -> Some fd
+        | exception Unix.Unix_error _ ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          if retries = 0 then None
+          else begin
+            Thread.delay 0.01;
+            go (retries - 1)
+          end
+      in
+      go 100
+    in
+    (* Chaos clients get torn down mid-write on purpose, so a failed
+       send is an expected outcome, not an error: [false] just means
+       the rest of the event is moot. *)
+    let send_all fd s =
+      let b = Bytes.of_string s in
+      let len = Bytes.length b in
+      let rec go off =
+        if off >= len then true
+        else
+          match Unix.write fd b off (len - off) with
+          | n -> go (off + n)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+          | exception Unix.Unix_error _ -> false
+      in
+      go 0
+    in
+    (* Bounded raw-fd line read: [None] on EOF, junk-free timeout, or
+       socket error — the caller decides whether silence is legal. *)
+    let recv_line fd ~timeout =
+      let deadline = Unix.gettimeofday () +. timeout in
+      let buf = Buffer.create 256 in
+      let chunk = Bytes.create 512 in
+      let rec go () =
+        let left = deadline -. Unix.gettimeofday () in
+        if left <= 0.0 then None
+        else
+          match Unix.select [ fd ] [] [] left with
+          | [], _, _ -> None
+          | _ -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> None
+            | n -> (
+              Buffer.add_subbytes buf chunk 0 n;
+              let s = Buffer.contents buf in
+              match String.index_opt s '\n' with
+              | Some i -> Some (String.sub s 0 i)
+              | None -> go ())
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+            | exception Unix.Unix_error _ -> None)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      in
+      go ()
+    in
+    let run_chaos plan =
+      let path = Filename.temp_file "qsynth-serve" ".chaos.sock" in
+      let address = Serve.Unix_socket path in
+      (* Every third compile blows up mid-pipeline while the transport
+         is being mistreated, so pipeline and socket faults land
+         together.  The flag lets the post-chaos probes compile
+         cleanly. *)
+      let chaos_over = ref false in
+      let calls = ref 0 in
+      let inject () =
+        if not !chaos_over then begin
+          incr calls;
+          if !calls mod 3 = 0 then raise (Faultinject.Injected "serve-chaos")
+        end
+      in
+      let daemon =
+        Serve.create ~cache_capacity:8 ~max_cache_bytes:(512 * 1024)
+          ~max_deadline_seconds:5.0 ~watchdog_grace_seconds:2.0
+          ~read_timeout_seconds:0.3 ~max_frame_bytes:65536 ~max_workers:3
+          ~max_pending:3 ~inject ()
+      in
+      let server_error = ref None in
+      let server =
+        Thread.create
+          (fun () ->
+            try Serve.serve daemon address
+            with e -> server_error := Some (Printexc.to_string e))
+          ()
+      in
+      let failures = ref [] in
+      let failures_lock = Mutex.create () in
+      let record msg =
+        Mutex.lock failures_lock;
+        failures := msg :: !failures;
+        Mutex.unlock failures_lock
+      in
+      let with_conn what use =
+        match connect path with
+        | None -> record (what ^ ": could not connect")
+        | Some fd ->
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> use fd)
+      in
+      (* Any answer must be a valid envelope; an [overloaded] shed is
+         an answer.  The 8s ceiling sits above the daemon's worst case
+         (5s deadline + 2s watchdog grace). *)
+      let expect_valid what frame fd =
+        match recv_line fd ~timeout:8.0 with
+        | None ->
+          record (Printf.sprintf "%s: no response to frame %S" what frame)
+        | Some line -> (
+          match serve_validate_envelope frame line with
+          | Some msg -> record (what ^ ": " ^ msg)
+          | None -> ())
+      in
+      let run_event = function
+        | S.Request { fault = None; frame } ->
+          with_conn "plain request" (fun fd ->
+              if send_all fd (frame ^ "\n") then
+                expect_valid "plain request" frame fd)
+        | S.Request { fault = Some (S.Torn_frame k); frame } ->
+          with_conn "torn frame" (fun fd ->
+              let k = min k (String.length frame) in
+              ignore (send_all fd (String.sub frame 0 k)))
+        | S.Request { fault = Some S.Disconnect_before_read; frame } ->
+          with_conn "disconnect" (fun fd ->
+              ignore (send_all fd (frame ^ "\n")))
+        | S.Request { fault = Some (S.Stalled_write ms); frame } ->
+          with_conn "stalled write" (fun fd ->
+              let half = String.length frame / 2 in
+              if send_all fd (String.sub frame 0 half) then begin
+                Thread.delay (float_of_int ms /. 1000.);
+                if
+                  send_all fd
+                    (String.sub frame half (String.length frame - half)
+                    ^ "\n")
+                then expect_valid "stalled write" frame fd
+              end)
+        | S.Request { fault = Some (S.Stalled_read ms); frame } ->
+          with_conn "stalled read" (fun fd ->
+              if send_all fd (frame ^ "\n") then begin
+                Thread.delay (float_of_int ms /. 1000.);
+                expect_valid "stalled read" frame fd
+              end)
+        | S.Burst n ->
+          (* n pings race the admission queue; each must get a valid
+             envelope (overloaded included) or a clean close. *)
+          let one i () =
+            with_conn
+              (Printf.sprintf "burst client %d" i)
+              (fun fd ->
+                let frame = {|{"op":"ping"}|} in
+                if send_all fd (frame ^ "\n") then
+                  match recv_line fd ~timeout:4.0 with
+                  | None -> ()
+                  | Some line -> (
+                    match serve_validate_envelope frame line with
+                    | Some msg ->
+                      record (Printf.sprintf "burst client %d: %s" i msg)
+                    | None -> ()))
+          in
+          let threads = List.init n (fun i -> Thread.create (one i) ()) in
+          List.iter Thread.join threads
+      in
+      (* A shed ([overloaded]) answer is legal while the daemon drains
+         the chaos backlog; liveness means the request is eventually
+         admitted, so probes retry through sheds. *)
+      let is_shed line =
+        let module J = Trace.Json in
+        match J.of_string line with
+        | Ok j -> (
+          match J.member "status" j with
+          | Some (J.String "overloaded") -> true
+          | _ -> false)
+        | Error _ -> false
+      in
+      let probe what frame =
+        let rec attempt retries =
+          let outcome = ref `Retry in
+          with_conn what (fun fd ->
+              (* A failed send is the shed race: the daemon wrote its
+                 overloaded line and closed before our bytes landed. *)
+              if not (send_all fd (frame ^ "\n")) then outcome := `Retry
+              else
+                match recv_line fd ~timeout:8.0 with
+                | None ->
+                  outcome :=
+                    `Failed (what ^ ": daemon did not answer after chaos")
+                | Some line -> (
+                  match serve_validate_envelope frame line with
+                  | Some msg -> outcome := `Failed (what ^ ": " ^ msg)
+                  | None ->
+                    if is_shed line then outcome := `Retry
+                    else
+                      let module J = Trace.Json in
+                      (match J.of_string line with
+                      | Ok j -> (
+                        match J.member "code" j with
+                        | Some (J.Int 0) -> outcome := `Answered
+                        | Some (J.Int c) ->
+                          outcome :=
+                            `Failed
+                              (Printf.sprintf
+                                 "%s: code %d after chaos, wanted 0" what c)
+                        | _ ->
+                          outcome :=
+                            `Failed (what ^ ": no code after chaos"))
+                      | Error _ -> outcome := `Answered)));
+          match !outcome with
+          | `Answered -> ()
+          | `Failed msg -> record msg
+          | `Retry ->
+            if retries = 0 then
+              record (what ^ ": still shed after the chaos backlog drained")
+            else begin
+              Thread.delay 0.05;
+              attempt (retries - 1)
+            end
+        in
+        attempt 100
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (* The shutdown itself can be shed while the backlog drains;
+             keep asking until the daemon stops accepting or answers
+             with anything but [overloaded], else the join below would
+             wait forever on a daemon that never heard the request. *)
+          let rec ask retries =
+            match connect path with
+            | None -> ()
+            | Some fd ->
+              (* [true] only on a definitive non-shed answer: a failed
+                 send or a missing response means the daemon shed the
+                 connection (it closes right after the overloaded
+                 line), so the shutdown was never heard — ask again. *)
+              let heard =
+                if send_all fd "{\"op\":\"shutdown\"}\n" then
+                  match recv_line fd ~timeout:4.0 with
+                  | Some line -> not (is_shed line)
+                  | None -> false
+                else false
+              in
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              if (not heard) && retries > 0 then begin
+                Thread.delay 0.05;
+                ask (retries - 1)
+              end
+          in
+          ask 200;
+          Thread.join server;
+          try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          List.iter run_event plan;
+          chaos_over := true;
+          (* Liveness after the storm: the daemon must still answer
+             probes and a clean compile with code 0. *)
+          probe "post-chaos ping" {|{"op":"ping"}|};
+          probe "post-chaos stats" {|{"op":"stats"}|};
+          probe "post-chaos compile"
+            (let module J = Trace.Json in
+             J.to_string
+               (J.Obj
+                  [
+                    ("op", J.String "compile");
+                    ( "source",
+                      J.String
+                        "OPENQASM 2.0;\n\
+                         include \"qelib1.inc\";\n\
+                         qreg q[2];\n\
+                         cx q[0],q[1];\n" );
+                    ("device", J.String "ibmqx4");
+                  ]));
+          (match !server_error with
+          | Some e -> record ("server thread raised " ^ e)
+          | None -> ());
+          match !failures with
+          | [] -> Pass
+          | msgs -> Fail (String.concat "; " (List.rev msgs)))
+    in
+    {
+      name = "serve-chaos";
+      doc = "the serve daemon stays live through transport chaos";
+      paper = "Sec. 5 (robustness of the pipeline)";
+      gen =
+        (fun cfg st ->
+          let event st =
+            if Gen.int 5 st = 0 then S.random_burst st
+            else
+              let frame =
+                let f = serve_frame cfg st in
+                (* A mid-plan shutdown would stop the daemon the rest
+                   of the plan and the liveness probes still need. *)
+                if f = {|{"op":"shutdown"}|} then {|{"op":"ping"}|} else f
+              in
+              S.random_event st ~frame
+          in
+          let n = 1 + Gen.int 6 st in
+          Source_case
+            {
+              ext = ".chaos";
+              text = S.plan_to_string (List.init n (fun _ -> event st));
+            });
+      check =
+        (function
+        | Source_case { ext = ".chaos"; text } -> (
+          match S.plan_of_string text with
+          | Error msg -> Fail msg
+          | Ok plan -> run_chaos plan)
+        | _ -> wrong_case "serve-chaos");
+    }
+
   let all =
     [
       compile_sim_equivalent;
@@ -1133,6 +1465,7 @@ module Property = struct
       compile_checked_total;
       absint_sound;
       serve_protocol;
+      serve_chaos;
     ]
 
   let find name = List.find_opt (fun p -> p.name = name) all

@@ -136,7 +136,13 @@ module Property : sig
       place-invariance, esop-cascade, compile-checked-total,
       absint-sound, serve-protocol ([.serve] source cases: one
       qsynth-serve/v1 frame per line, driven through the in-process
-      protocol core and a loopback socket with concurrent clients). *)
+      protocol core and a loopback socket with concurrent clients),
+      serve-chaos ([.chaos] source cases: one
+      {!Faultinject.Socket.event} per line, replayed as raw-socket
+      transport faults — torn frames, disconnects, stalls, connection
+      bursts — against a live loopback daemon with mid-pipeline
+      injection, asserting valid envelopes and post-chaos
+      liveness). *)
   val all : t list
 
   (** [find name] looks a property up by {!t.name}. *)

@@ -8,6 +8,17 @@
     socket, and memoizes full compile reports in a content-addressed
     cache (the same shape as quilc's server mode, see DESIGN.md).
 
+    The daemon is built to stay up under overload and faults: requests
+    run under a supervisor (watchdog deadline, optional per-request
+    allocation budget, a last-resort exception envelope — a poisoned
+    request is answered with a structured code-125 diagnostic and its
+    worker recycled, never a dead process), connections are admitted
+    through a bounded queue ahead of a fixed worker pool (excess load
+    is shed with an explicit [overloaded] response instead of an
+    unbounded thread pile-up), reads carry per-connection deadlines and
+    a frame-size cap (slowloris defense), and the report cache can
+    spill to an on-disk store that survives a [kill -9].
+
     {2 The wire protocol: [qsynth-serve/v1]}
 
     One request per line, one response line per request, both UTF-8
@@ -20,18 +31,41 @@
     - [{"op":"batch","requests":[R1,R2,...]}] runs each [Ri] (a compile
       request object without ["op"]) independently and aggregates — the
       protocol form of [qsc compile --keep-going].
-    - [{"op":"stats"}] reports request and cache counters.
+    - [{"op":"stats"}] reports request, cache, overload, supervision
+      and connection counters.
     - [{"op":"ping"}] liveness probe.
-    - [{"op":"shutdown"}] stops the accept loop after this response.
+    - [{"op":"shutdown"}] starts a graceful drain: in-flight requests
+      finish, queued-but-unserved and new connections are refused, and
+      the accept loop stops.
 
     Every response carries ["protocol"], the request's ["id"] (echoed
     verbatim when present), ["ok"], ["code"] and ["seconds"].  ["code"]
     mirrors the CLI exit contract: 0 success, 123 reported failure
-    (diagnostics, MISMATCH, failed batch entries), 124 protocol misuse
-    (unparseable frame, unknown op or device, unknown or wrongly-typed
-    field), 125 internal error.  Failures carry ["diagnostics"] — the
-    same JSON shape the CLI emits — with misuse tagged with the
-    [Protocol] diagnostic kind.
+    (diagnostics, MISMATCH, failed batch entries, load shedding), 124
+    protocol misuse (unparseable frame, over-long frame, unknown op or
+    device, unknown or wrongly-typed field), 125 internal error (an
+    unexpected exception, a tripped watchdog, an exhausted allocation
+    budget).  Failures carry ["diagnostics"] — the same JSON shape the
+    CLI emits — with misuse tagged with the [Protocol] diagnostic kind.
+
+    {3 Overload and failure responses}
+
+    - A connection arriving while the pending queue is full is answered
+      with one [{"status":"overloaded","retry_after_ms":N}] envelope
+      (code 123) and closed — explicit load shedding, never an
+      unbounded backlog.
+    - A connection still queued when [shutdown] arrives is answered
+      with [{"status":"draining"}] (code 123) and closed.
+    - A request line longer than the frame cap is answered with a
+      code-124 [Protocol] diagnostic; when the over-long line never
+      even ends (no newline within the cap), the same response is sent
+      and the connection closed.
+    - A request that trips the watchdog or the allocation budget is
+      answered with a code-125 [Internal] diagnostic naming the
+      tripped limit; the daemon stays up.
+    - A client that disconnects before its response is written
+      ([EPIPE]/[ECONNRESET]) is counted and the connection closed —
+      never a process error ([SIGPIPE] is ignored while serving).
 
     A successful compile response carries the {!Compiler.report_to_json}
     payload under ["report"], with one deliberate change: the volatile
@@ -45,37 +79,118 @@
 
     Keyed by ({!Compiler.source_digest}, format,
     {!Compiler.device_digest}, {!Compiler.options_digest}) — content,
-    never file paths — and bounded by an LRU policy.  Only completed
-    reports (status ok or mismatch) are cached.  A hit skips the whole
-    pipeline {e including verification}; that is sound because the key
-    pins the exact source, device table and option set that produced
-    the verified report, and verification is deterministic for a pinned
-    triple — re-running it could only repeat the same answer. *)
+    never file paths — and bounded by an LRU policy over {e both} an
+    entry count and a byte budget (the sum of serialized payload
+    sizes).  Only completed reports (status ok or mismatch) are cached.
+    Two racing misses for the same key coalesce: the compiler runs
+    once, the second racer is served the first's report as a hit.  A
+    hit skips the whole pipeline {e including verification}; that is
+    sound because the key pins the exact source, device table and
+    option set that produced the verified report, and verification is
+    deterministic for a pinned triple — re-running it could only repeat
+    the same answer.
+
+    With [persist_dir] set, every cached report is also spilled to disk
+    (one file per cache key, schema [qsynth-serve-cache/v1]) with an
+    atomic write-to-temp-then-rename, so a crash mid-write can never
+    leave a torn report to be served later.  A fresh daemon pointed at
+    the same directory warms its cache from the store — byte-identical
+    reports across a kill-and-restart cycle — and unreadable or
+    malformed store files are deleted on load, never served.  Evicted
+    entries are removed from disk too, so the store obeys the same
+    budgets as the memory cache. *)
 
 (** {2 Daemon state} *)
 
 type t
 
+(** Raised (and caught internally — it never escapes {!handle_line})
+    when a request allocates past [max_request_bytes]; surfaced to the
+    client as a code-125 diagnostic. *)
+exception Allocation_budget_exceeded of int
+
 (** [create ()] is a fresh daemon state (cache plus counters).
 
-    [cache_capacity] bounds the report cache (default 256 entries;
-    least-recently-used entries are evicted past it; 0 disables
-    caching).  [max_deadline_seconds] (default 60) bounds every
-    request's wall-clock budget: a request asking for more is clamped,
-    one asking for nothing gets the maximum — a daemon must never hang
-    forever on one compile.  [trace] (default {!Trace.disabled})
-    additionally receives cache and request totals as named counters
-    via {!Trace.bump}; spans are never recorded on it. *)
+    Cache: [cache_capacity] bounds the report cache in entries (default
+    256; 0 disables caching entirely, including the persistent store)
+    and [max_cache_bytes] in summed payload bytes (default 64 MiB; 0
+    means no byte bound); least-recently-used entries are evicted past
+    either bound.  [persist_dir] names a directory (created if missing)
+    to spill the cache to and warm it from — see the cache section
+    above.
+
+    Budgets: [max_deadline_seconds] (default 60) bounds every request's
+    wall-clock compile budget: a request asking for more is clamped,
+    one asking for nothing gets the maximum.  [watchdog_grace_seconds]
+    (default 5; 0 disables supervision) is how long past the deadline
+    ceiling the {e supervised} path ({!handle_line_supervised}, used by
+    the socket layer) waits before abandoning a wedged request and
+    answering 125 on its behalf.  [max_request_bytes] (default
+    unlimited), when set, bounds one request's heap allocation, sampled
+    via a [Gc] alarm during the parse-and-compile window; a request
+    past it is aborted with a code-125 diagnostic.
+
+    Sockets (used by {!serve}): [max_frame_bytes] (default 4 MiB) caps
+    a request line; [read_timeout_seconds] (default 30) is the
+    per-frame read deadline and the response write timeout;
+    [max_workers] (default 8) fixes the connection worker pool;
+    [max_pending] (default 32) bounds the admission queue, beyond which
+    connections are shed.
+
+    [inject] (default none) is a fault hook for robustness tests and
+    the chaos harness: it is called once per cache-missing compile,
+    before the compiler runs, and whatever it raises (or however long
+    it sleeps) flows through the supervision machinery like a real
+    fault.  [trace] (default {!Trace.disabled}) additionally receives
+    cache/request/overload totals as named counters via {!Trace.bump};
+    spans are never recorded on it. *)
 val create :
   ?cache_capacity:int ->
+  ?max_cache_bytes:int ->
+  ?persist_dir:string ->
   ?max_deadline_seconds:float ->
+  ?max_frame_bytes:int ->
+  ?watchdog_grace_seconds:float ->
+  ?max_request_bytes:int ->
+  ?read_timeout_seconds:float ->
+  ?max_workers:int ->
+  ?max_pending:int ->
+  ?inject:(unit -> unit) ->
   ?trace:Trace.t ->
   unit ->
   t
 
-(** [stats t] is the current counter snapshot:
-    [(requests, hits, misses, evictions, cache_size)]. *)
-val stats : t -> int * int * int * int * int
+(** Counter snapshot.  [resident]/[resident_bytes] describe the live
+    cache; [warmed] counts entries loaded from the persistent store at
+    {!create}; [shed]/[drained] count refused connections (queue full /
+    shutdown drain); [watchdog_trips]/[alloc_trips] count supervised
+    requests answered 125 on behalf of a wedged or over-allocating
+    worker; [client_disconnects], [read_timeouts] and [frame_rejects]
+    count per-connection degradations absorbed without touching the
+    daemon; [connections_served] and [open_connections] watch the
+    worker pool (the latter is a gauge and returns to 0 when idle —
+    the regression handle for the old grow-only thread list). *)
+type counters = {
+  requests : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  resident : int;
+  resident_bytes : int;
+  warmed : int;
+  persist_errors : int;
+  shed : int;
+  drained : int;
+  watchdog_trips : int;
+  alloc_trips : int;
+  client_disconnects : int;
+  read_timeouts : int;
+  frame_rejects : int;
+  connections_served : int;
+  open_connections : int;
+}
+
+val stats : t -> counters
 
 (** [shutdown_requested t] is set once a [shutdown] request has been
     answered. *)
@@ -87,9 +202,24 @@ val shutdown_requested : t -> bool
     (no trailing newline).  This is the entire protocol — the socket
     layer below only moves lines — so tests and the fuzzer drive the
     daemon in-process with strings.  Never raises: internal errors
-    become code-125 responses.  Thread-safe (requests serialize on an
-    internal lock). *)
+    become code-125 responses, over-long lines code-124 responses.
+    Thread-safe: cache and counter updates serialize on a state lock,
+    and the compiler itself runs under a dedicated compile lock (with
+    racing identical misses coalesced into one compile). *)
 val handle_line : t -> string -> string
+
+(** [handle_line_supervised t line] is {!handle_line} run under the
+    supervisor: the request executes on a disposable worker thread
+    watched against the watchdog deadline
+    ([max_deadline_seconds + watchdog_grace_seconds]).  If the worker
+    wedges past it, the request is abandoned (its late result is
+    discarded; the thread is left to die and a fresh one serves the
+    next request) and a code-125 watchdog diagnostic is returned
+    instead — the caller always gets exactly one response line.  With
+    supervision disabled ([watchdog_grace_seconds = 0]) this is
+    {!handle_line}.  The socket layer routes every frame through
+    here. *)
+val handle_line_supervised : t -> string -> string
 
 (** {2 The socket layer} *)
 
@@ -101,9 +231,17 @@ val address_to_string : address -> string
 
 (** [serve t address] binds, listens and serves until a [shutdown]
     request arrives (or [max_requests] lines have been answered, for
-    bounded test and CI runs).  One thread per connection; an existing
-    Unix-socket path is replaced.  Raises [Unix.Unix_error] only for
-    bind-time failures; per-connection errors drop that connection. *)
+    bounded test and CI runs).  Connections are admitted through a
+    bounded queue into a fixed pool of [max_workers] threads — the pool
+    never grows, excess connections are shed with an [overloaded]
+    response — and every frame runs through
+    {!handle_line_supervised}.  [SIGPIPE] is ignored; client
+    disconnects, stalled reads and over-long frames degrade that
+    connection only.  On shutdown the drain is graceful: in-flight
+    requests finish and are answered, queued connections are refused
+    with a [draining] response, and the listen socket closes before
+    the call returns.  An existing Unix-socket path is replaced.
+    Raises [Unix.Unix_error] only for bind-time failures. *)
 val serve : ?max_requests:int -> t -> address -> unit
 
 (** {2 A line-oriented client}

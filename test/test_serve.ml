@@ -342,6 +342,392 @@ let test_concurrent_clients_loopback () =
       check_int "one hit, one miss on the shared request" 1
         (List.length (List.filter Fun.id cached_flags)))
 
+(* --- robustness: supervision, budgets, persistence ------------------ *)
+
+let diagnostic_message r =
+  match field "diagnostics" r with
+  | J.List (d :: _) -> (
+    match J.member "message" d with Some (J.String m) -> m | _ -> "?")
+  | _ -> "?"
+
+let test_frame_cap () =
+  let t = Serve.create ~max_frame_bytes:1024 () in
+  let oversized =
+    J.to_string (J.Obj (compile_req (sample_qasm ^ String.make 2000 ' ')))
+  in
+  let r = parse_response (Serve.handle_line t oversized) in
+  check_int "frame-cap code" 124 (int_field "code" r);
+  check_string "frame-cap kind" "protocol" (diagnostic_kind r);
+  (* Small frames still work on the same daemon... *)
+  let ok = rpc t (compile_req sample_qasm) in
+  check_int "small frame still compiles" 0 (int_field "code" ok);
+  (* ...and the rejection was counted. *)
+  check_int "frame_rejects counted" 1 (Serve.stats t).Serve.frame_rejects
+
+let test_allocation_budget () =
+  (* The inject hook plays a compile that allocates far past the
+     budget; [Gc.major] inside it makes the alarm's trip point
+     deterministic instead of waiting for natural major-cycle
+     pacing. *)
+  let hungry () =
+    let keep = ref [] in
+    for _ = 1 to 64 do
+      keep := Bytes.create (1024 * 1024) :: !keep
+    done;
+    Gc.major ();
+    ignore (List.length !keep)
+  in
+  let t =
+    Serve.create ~max_request_bytes:(8 * 1024 * 1024) ~inject:hungry ()
+  in
+  let r = rpc t (compile_req sample_qasm) in
+  check_int "allocation-budget code" 125 (int_field "code" r);
+  check_bool "message names the budget" true
+    (let m = diagnostic_message r in
+     String.length m >= 17
+     &&
+     let rec find i =
+       i + 17 <= String.length m
+       && (String.sub m i 17 = "allocation budget" || find (i + 1))
+     in
+     find 0);
+  check_int "alloc_trips counted" 1 (Serve.stats t).Serve.alloc_trips;
+  (* The daemon survived: the same request without the hungry inject
+     compiles normally. *)
+  let calm = Serve.create ~max_request_bytes:(256 * 1024 * 1024) () in
+  check_int "modest request passes the budget" 0
+    (int_field "code" (rpc calm (compile_req sample_qasm)))
+
+let test_watchdog_abandons_wedged_requests () =
+  let t =
+    Serve.create ~max_deadline_seconds:0.1 ~watchdog_grace_seconds:0.1
+      ~inject:(fun () -> Thread.delay 0.6)
+      ()
+  in
+  let line =
+    J.to_string (J.Obj (compile_req sample_qasm @ [ ("id", J.Int 9) ]))
+  in
+  let r = parse_response (Serve.handle_line_supervised t line) in
+  check_int "watchdog code" 125 (int_field "code" r);
+  check_int "id echoed on the supervisor's answer" 9 (int_field "id" r);
+  check_bool "message names the watchdog" true
+    (String.length (diagnostic_message r) >= 8
+    && String.sub (diagnostic_message r) 0 8 = "watchdog");
+  check_int "watchdog_trips counted" 1 (Serve.stats t).Serve.watchdog_trips;
+  (* The daemon stays responsive while the abandoned worker drains. *)
+  let ping = rpc t [ ("op", J.String "ping") ] in
+  check_int "still answers" 0 (int_field "code" ping);
+  (* Let the abandoned thread finish before the process exits. *)
+  Thread.delay 0.7
+
+let test_byte_budget_lru () =
+  (* Probe one entry's charged size, then budget two entries plus
+     slack: the third insert must evict exactly the least recently
+     used one. *)
+  let probe = Serve.create () in
+  ignore (rpc probe (compile_req sample_qasm));
+  let entry_bytes = (Serve.stats probe).Serve.resident_bytes in
+  check_bool "probe entry has a size" true (entry_bytes > 0);
+  let budget = (2 * entry_bytes) + 256 in
+  let t = Serve.create ~max_cache_bytes:budget () in
+  let source_b = sample_qasm ^ "x q[0];\n" in
+  let source_c = sample_qasm ^ "z q[0];\n" in
+  let compile s = bool_field "cached" (rpc t (compile_req s)) in
+  check_bool "A misses" false (compile sample_qasm);
+  check_bool "B misses" false (compile source_b);
+  check_bool "A hits" true (compile sample_qasm);
+  check_bool "C misses" false (compile source_c);
+  let c = Serve.stats t in
+  check_bool "byte budget evicted" true (c.Serve.evictions >= 1);
+  check_bool "resident bytes within budget" true
+    (c.Serve.resident_bytes <= budget);
+  check_bool "B (the LRU entry) was the victim" false (compile source_b)
+
+let temp_dir () =
+  let path = Filename.temp_file "qsynth-serve-persist" "" in
+  Sys.remove path;
+  path
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let test_persistent_cache_warm_restart () =
+  let dir = temp_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let first = Serve.create ~persist_dir:dir () in
+      let miss = rpc first (compile_req sample_qasm) in
+      check_bool "first daemon misses" false (bool_field "cached" miss);
+      let spilled =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun n -> Filename.check_suffix n ".rpt")
+      in
+      check_int "one report spilled" 1 (List.length spilled);
+      (* Plant a torn temp and a garbage report: a restart must sweep
+         both and serve neither. *)
+      let plant name text =
+        let oc = open_out (Filename.concat dir name) in
+        output_string oc text;
+        close_out oc
+      in
+      plant ".tmp-999-stale.rpt" "{\"schema\":\"qsynth-serve-cache/v1\"";
+      plant "deadbeef.rpt" "not json at all";
+      let second = Serve.create ~persist_dir:dir () in
+      let c = Serve.stats second in
+      check_int "one entry warmed from disk" 1 c.Serve.warmed;
+      check_bool "garbage was counted" true (c.Serve.persist_errors >= 1);
+      check_bool "garbage report deleted" false
+        (Sys.file_exists (Filename.concat dir "deadbeef.rpt"));
+      check_bool "stale temp swept" false
+        (Sys.file_exists (Filename.concat dir ".tmp-999-stale.rpt"));
+      let hit = rpc second (compile_req sample_qasm) in
+      check_bool "restarted daemon serves from the warmed cache" true
+        (bool_field "cached" hit);
+      check_string "warm report is byte-identical to the original miss"
+        (J.to_string (field "report" miss))
+        (J.to_string (field "report" hit)))
+
+(* --- robustness: the socket layer ----------------------------------- *)
+
+let connect_retry address retries =
+  let rec go retries =
+    match Serve.Client.connect address with
+    | conn -> conn
+    | exception _ when retries > 0 ->
+      Thread.delay 0.02;
+      go (retries - 1)
+    | exception e -> raise e
+  in
+  go retries
+
+(* Read one response line from a raw fd (for clients that never send
+   anything, e.g. shed connections answered straight from the accept
+   loop). *)
+let read_line_fd fd =
+  let buf = Buffer.create 256 in
+  let b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> Buffer.contents buf
+    | _ ->
+      if Bytes.get b 0 = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Bytes.get b 0);
+        go ()
+      end
+  in
+  go ()
+
+let with_server daemon f =
+  let path = temp_socket_path () in
+  let address = Serve.Unix_socket path in
+  let server = Thread.create (fun () -> Serve.serve daemon address) () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let conn = connect_retry address 5 in
+         ignore (Serve.Client.request conn {|{"op":"shutdown"}|});
+         Serve.Client.close conn
+       with _ -> ());
+      Thread.join server;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* Wait for the listener. *)
+      Serve.Client.close (connect_retry address 100);
+      f path address)
+
+let test_worker_pool_stays_bounded () =
+  (* The regression for the old grow-only [Thread.create] list: many
+     short-lived connections through a 2-thread pool must leave no
+     resident connection state behind — the open-connections gauge
+     returns to (exactly the stats connection itself), and the pool
+     served every one of them. *)
+  let daemon = Serve.create ~max_workers:2 () in
+  with_server daemon (fun _path address ->
+      (* The with_server readiness probe is itself a connection; wait
+         for it to be fully absorbed, then count deltas. *)
+      let rec absorb retries =
+        let c = Serve.stats daemon in
+        if
+          (c.Serve.open_connections = 0 && c.Serve.connections_served >= 1)
+          || retries = 0
+        then ()
+        else begin
+          Thread.delay 0.02;
+          absorb (retries - 1)
+        end
+      in
+      absorb 200;
+      let base = (Serve.stats daemon).Serve.connections_served in
+      for _ = 1 to 30 do
+        let conn = connect_retry address 100 in
+        let r = parse_response (Serve.Client.request conn {|{"op":"ping"}|}) in
+        check_int "ping ok" 0 (int_field "code" r);
+        Serve.Client.close conn
+      done;
+      (* EOF processing is asynchronous; poll the gauge down. *)
+      let rec settle retries =
+        let c = Serve.stats daemon in
+        if
+          (c.Serve.open_connections = 0
+          && c.Serve.connections_served - base >= 30)
+          || retries = 0
+        then c
+        else begin
+          Thread.delay 0.02;
+          settle (retries - 1)
+        end
+      in
+      let c = settle 100 in
+      check_int "every connection closed" 0 c.Serve.open_connections;
+      check_int "every connection served" 30
+        (c.Serve.connections_served - base))
+
+let test_client_disconnect_is_clean () =
+  (* The client hangs up between request and response: the daemon must
+     absorb the EPIPE on the write and keep serving. *)
+  let daemon = Serve.create ~inject:(fun () -> Thread.delay 0.2) () in
+  with_server daemon (fun path address ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let line = J.to_string (J.Obj (compile_req sample_qasm)) ^ "\n" in
+      ignore (Unix.write_substring fd line 0 (String.length line));
+      Unix.close fd;
+      (* The compile is still in flight for ~0.2s; the daemon discovers
+         the disconnect when it writes the response. *)
+      let conn = connect_retry address 100 in
+      let r = parse_response (Serve.Client.request conn {|{"op":"ping"}|}) in
+      check_int "daemon survived the disconnect" 0 (int_field "code" r);
+      Serve.Client.close conn;
+      let rec settle retries =
+        let c = Serve.stats daemon in
+        if c.Serve.client_disconnects >= 1 || retries = 0 then c
+        else begin
+          Thread.delay 0.02;
+          settle (retries - 1)
+        end
+      in
+      check_bool "disconnect was counted" true
+        ((settle 100).Serve.client_disconnects >= 1))
+
+let test_overload_sheds () =
+  (* One worker, one queue slot: a burst's third connection must be
+     answered with a structured overload response, not queued without
+     bound. *)
+  let daemon =
+    Serve.create ~max_workers:1 ~max_pending:1
+      ~inject:(fun () -> Thread.delay 1.0)
+      ()
+  in
+  with_server daemon (fun path address ->
+      (* Wait until the single worker is idle again after the
+         readiness probe, so the probe's connection cannot still be
+         occupying the queue slot. *)
+      let wait_for pred =
+        let rec go retries =
+          if pred (Serve.stats daemon) then ()
+          else if retries = 0 then Alcotest.fail "daemon never settled"
+          else begin
+            Thread.delay 0.02;
+            go (retries - 1)
+          end
+        in
+        go 200
+      in
+      wait_for (fun c ->
+          c.Serve.open_connections = 0 && c.Serve.connections_served >= 1);
+      let base = (Serve.stats daemon).Serve.connections_served in
+      let busy = connect_retry address 100 in
+      let slow_result = ref None in
+      let slow =
+        Thread.create
+          (fun () ->
+            slow_result :=
+              Some
+                (Serve.Client.request busy
+                   (J.to_string (J.Obj (compile_req sample_qasm)))))
+          ()
+      in
+      (* The worker has picked the slow compile up once the served
+         count moves; it now sleeps ~1s inside the inject hook. *)
+      wait_for (fun c -> c.Serve.connections_served > base);
+      Thread.delay 0.05;
+      (* Occupies the only queue slot while the worker compiles. *)
+      let queued = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect queued (Unix.ADDR_UNIX path);
+      Thread.delay 0.15;
+      (* Third connection: queue full, shed at the accept loop. *)
+      let extra = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect extra (Unix.ADDR_UNIX path);
+      let shed_line = read_line_fd extra in
+      Unix.close extra;
+      Unix.close queued;
+      let r = parse_response shed_line in
+      check_int "overloaded is a reported failure" 123 (int_field "code" r);
+      check_string "status" "overloaded"
+        (match field "status" r with J.String s -> s | _ -> "?");
+      check_bool "retry_after_ms present" true
+        (int_field "retry_after_ms" r > 0);
+      Thread.join slow;
+      (match !slow_result with
+      | Some line ->
+        check_int "the in-flight compile still completed" 0
+          (int_field "code" (parse_response line))
+      | None -> Alcotest.fail "slow client lost its response");
+      Serve.Client.close busy;
+      check_bool "shed counted" true ((Serve.stats daemon).Serve.shed >= 1))
+
+let test_graceful_drain () =
+  (* Shutdown during a slow in-flight compile: that request completes
+     with a full response, the daemon then refuses new work and the
+     serve call returns. *)
+  let daemon = Serve.create ~inject:(fun () -> Thread.delay 0.3) () in
+  let path = temp_socket_path () in
+  let address = Serve.Unix_socket path in
+  let server = Thread.create (fun () -> Serve.serve daemon address) () in
+  Serve.Client.close (connect_retry address 100);
+  let slow = connect_retry address 100 in
+  let slow_result = ref None in
+  let slow_thread =
+    Thread.create
+      (fun () ->
+        slow_result :=
+          Some
+            (Serve.Client.request slow
+               (J.to_string (J.Obj (compile_req sample_qasm)))))
+      ()
+  in
+  Thread.delay 0.1;
+  let ctl = connect_retry address 100 in
+  let stop = parse_response (Serve.Client.request ctl {|{"op":"shutdown"}|}) in
+  check_bool "shutdown acknowledged" true (bool_field "stopping" stop);
+  Serve.Client.close ctl;
+  Thread.join slow_thread;
+  (match !slow_result with
+  | Some line ->
+    let r = parse_response line in
+    check_int "in-flight compile completed through the drain" 0
+      (int_field "code" r);
+    check_bool "with a full report" true (J.member "report" r <> None)
+  | None -> Alcotest.fail "slow client lost its response");
+  Serve.Client.close slow;
+  (* The serve call returns on its own... *)
+  Thread.join server;
+  (* ...and the socket is gone: new connections are refused. *)
+  check_bool "new connections refused after drain" true
+    (match Serve.Client.connect address with
+    | conn ->
+      Serve.Client.close conn;
+      false
+    | exception _ -> true);
+  try Sys.remove path with Sys_error _ -> ()
+
 let () =
   Alcotest.run "serve"
     [
@@ -366,9 +752,29 @@ let () =
           Alcotest.test_case "zero capacity disables" `Quick
             test_zero_capacity_disables_caching;
         ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "frame cap rejects oversized lines" `Quick
+            test_frame_cap;
+          Alcotest.test_case "allocation budget trips to 125" `Quick
+            test_allocation_budget;
+          Alcotest.test_case "watchdog abandons wedged requests" `Quick
+            test_watchdog_abandons_wedged_requests;
+          Alcotest.test_case "byte-budgeted LRU" `Quick test_byte_budget_lru;
+          Alcotest.test_case "persistent cache warm restart" `Quick
+            test_persistent_cache_warm_restart;
+        ] );
       ( "sockets",
         [
           Alcotest.test_case "concurrent clients over loopback" `Quick
             test_concurrent_clients_loopback;
+          Alcotest.test_case "worker pool stays bounded" `Quick
+            test_worker_pool_stays_bounded;
+          Alcotest.test_case "client disconnect is clean" `Quick
+            test_client_disconnect_is_clean;
+          Alcotest.test_case "overload sheds with retry_after_ms" `Quick
+            test_overload_sheds;
+          Alcotest.test_case "graceful drain completes in-flight work" `Quick
+            test_graceful_drain;
         ] );
     ]
