@@ -11,11 +11,26 @@ bench/baseline.json:
 - per-benchmark compile wall time may not exceed 2x the baseline
   (generous, to tolerate CI machine noise).
 
-Usage: compare_baseline.py CURRENT BASELINE
+Usage: compare_baseline.py [--metrics-only] CURRENT BASELINE
+       compare_baseline.py --history DIR
 Exits non-zero with a per-benchmark report on any violation.
+
+--metrics-only skips the wall-time comparison: the CI parallel job
+uses it to pin a --jobs N run byte-identical to the sequential run,
+where per-benchmark wall times legitimately differ under core
+contention.
+
+The --history form guards the parallel-scaling trajectory instead: DIR
+is a bench-history store (history.jsonl of qsynth-bench-history/v1
+datapoints appended by `bench/main.exe timing --jobs N --history DIR`).
+The latest datapoint's speedup is compared against the median of the
+prior datapoints recorded with the same job count; a drop below
+SCALING_FACTOR of that median fails.  Absolute speedups are only
+reported, never enforced — they depend on the machine's core count.
 """
 
 import json
+import statistics
 import sys
 
 TIMING_FIELDS = {"elapsed_seconds", "verification_seconds"}
@@ -42,12 +57,66 @@ def metrics_view(bench):
     return view
 
 
+SCALING_FACTOR = 0.75
+# With fewer prior datapoints than this, the trajectory is too short to
+# call a regression; the check only reports.
+MIN_HISTORY = 3
+
+
+def check_history(store_dir):
+    path = f"{store_dir}/history.jsonl"
+    try:
+        with open(path) as f:
+            points = [json.loads(line) for line in f if line.strip()]
+    except OSError as e:
+        sys.exit(f"bench history: cannot read {path}: {e}")
+    points = [p for p in points if p.get("schema") == "qsynth-bench-history/v1"]
+    if not points:
+        sys.exit(f"bench history: no datapoints in {path}")
+    latest = points[-1]
+    jobs = latest["jobs"]
+    speedup = latest["speedup"]
+    prior = [p["speedup"] for p in points[:-1] if p["jobs"] == jobs]
+    print(
+        f"bench history: {len(points)} datapoint(s); latest commit "
+        f"{latest.get('commit', '?')} jobs={jobs} "
+        f"seq {latest['seq_wall_seconds']:.2f}s par {latest['par_wall_seconds']:.2f}s "
+        f"speedup {speedup:.2f}x"
+    )
+    if len(prior) < MIN_HISTORY:
+        print(
+            f"bench history: {len(prior)} prior datapoint(s) at jobs={jobs} "
+            f"(need {MIN_HISTORY}) — scaling check reported only"
+        )
+        return
+    median = statistics.median(prior)
+    if speedup < SCALING_FACTOR * median:
+        sys.exit(
+            f"bench history: scaling REGRESSED — speedup {speedup:.2f}x is below "
+            f"{SCALING_FACTOR:.0%} of the prior median {median:.2f}x at jobs={jobs}"
+        )
+    print(
+        f"bench history: scaling ok ({speedup:.2f}x vs prior median {median:.2f}x "
+        f"at jobs={jobs})"
+    )
+
+
 def main():
-    if len(sys.argv) != 3:
-        sys.exit(f"usage: {sys.argv[0]} CURRENT BASELINE")
-    with open(sys.argv[1]) as f:
+    argv = sys.argv[1:]
+    if len(argv) == 2 and argv[0] == "--history":
+        check_history(argv[1])
+        return
+    metrics_only = False
+    if argv and argv[0] == "--metrics-only":
+        metrics_only = True
+        argv = argv[1:]
+    if len(argv) != 2:
+        sys.exit(
+            f"usage: {sys.argv[0]} [--metrics-only] CURRENT BASELINE | --history DIR"
+        )
+    with open(argv[0]) as f:
         current = json.load(f)
-    with open(sys.argv[2]) as f:
+    with open(argv[1]) as f:
         baseline = json.load(f)
     if current.get("schema") != baseline.get("schema"):
         sys.exit(
@@ -70,7 +139,7 @@ def main():
             changed = [k for k in set(bm) | set(cm) if bm.get(k) != cm.get(k)]
             failures.append(f"{name}: circuit metrics changed ({sorted(changed)})")
         bt, ct = b["elapsed_seconds"], c["elapsed_seconds"]
-        if bt >= WALL_FLOOR_SECONDS and ct > WALL_FACTOR * bt:
+        if not metrics_only and bt >= WALL_FLOOR_SECONDS and ct > WALL_FACTOR * bt:
             failures.append(
                 f"{name}: wall time regressed {bt:.3f}s -> {ct:.3f}s "
                 f"(> {WALL_FACTOR:.0f}x baseline)"

@@ -603,19 +603,59 @@ let workloads () =
 (* One traced compile per benchmark circuit; the JSON document is the
    regression baseline CI archives — per-pass wall times, gate metrics
    and pass counters for every benchmark, parseable without scraping
-   the human tables above. *)
-let bench_compile_json () =
-  let compile_traced ~suite ~name ~device ~verification circuit =
-    let trace = Trace.create () in
-    let options =
-      { (Compiler.default_options ~device) with Compiler.verification }
-    in
-    let report =
-      Compiler.compile ~trace options (Compiler.Quantum circuit)
-    in
-    Printf.printf "  %-12s %-12s -> %-7s %8.3fs  %s\n%!" suite name
+   the human tables above.
+
+   The suite is a flat spec list so it can fan across domains
+   (--jobs): every spec is independent, results are assembled in spec
+   order, and progress lines are printed after the whole suite, so the
+   document and the stdout section are byte-identical at every job
+   count (timing fields aside — compare_baseline.py strips those). *)
+let bench_specs () =
+  let default_verification device =
+    (Compiler.default_options ~device).Compiler.verification
+  in
+  List.map
+    (fun b ->
+      let device = Device.Ibm.ibmqx5 in
+      ( "single-target",
+        b.Benchsuite.Single_target.name,
+        device,
+        default_verification device,
+        fun () -> Benchsuite.Single_target.circuit b ))
+    Benchsuite.Single_target.all
+  @ List.map
+      (fun b ->
+        let device = Device.Ibm.ibmqx5 in
+        ( "revlib",
+          b.Benchsuite.Revlib_cascades.name,
+          device,
+          default_verification device,
+          fun () -> Benchsuite.Revlib_cascades.circuit b ))
+      Benchsuite.Revlib_cascades.all
+  @ (* The 96-qubit verifications take minutes each; the baseline is
+       about compile timings, so they run unverified here (table8
+       exercises the full proofs). *)
+  List.map
+    (fun b ->
+      ( "big-cascades",
+        b.Benchsuite.Big_cascades.name,
+        Device.Ibm.big96,
+        Compiler.Skip,
+        fun () -> Benchsuite.Big_cascades.circuit b ))
+    Benchsuite.Big_cascades.all
+
+let compile_spec (suite, name, device, verification, circuit) =
+  let trace = Trace.create () in
+  let options =
+    { (Compiler.default_options ~device) with Compiler.verification }
+  in
+  let report = Compiler.compile ~trace options (Compiler.Quantum (circuit ())) in
+  let line =
+    Printf.sprintf "  %-12s %-12s -> %-7s %8.3fs  %s" suite name
       (Device.name device) report.Compiler.elapsed_seconds
-      (Compiler.verification_to_string report.Compiler.verification);
+      (Compiler.verification_to_string report.Compiler.verification)
+  in
+  let json =
     Compiler.report_to_json
       ~meta:
         [
@@ -625,62 +665,95 @@ let bench_compile_json () =
         ]
       report
   in
-  let default_verification device =
-    (Compiler.default_options ~device).Compiler.verification
-  in
-  let single_target =
-    List.map
-      (fun b ->
-        let device = Device.Ibm.ibmqx5 in
-        compile_traced ~suite:"single-target"
-          ~name:b.Benchsuite.Single_target.name ~device
-          ~verification:(default_verification device)
-          (Benchsuite.Single_target.circuit b))
-      Benchsuite.Single_target.all
-  in
-  let revlib =
-    List.map
-      (fun b ->
-        let device = Device.Ibm.ibmqx5 in
-        compile_traced ~suite:"revlib"
-          ~name:b.Benchsuite.Revlib_cascades.name ~device
-          ~verification:(default_verification device)
-          (Benchsuite.Revlib_cascades.circuit b))
-      Benchsuite.Revlib_cascades.all
-  in
-  let big96 =
-    (* The 96-qubit verifications take minutes each; the baseline is
-       about compile timings, so they run unverified here (table8
-       exercises the full proofs). *)
-    List.map
-      (fun b ->
-        compile_traced ~suite:"big-cascades"
-          ~name:b.Benchsuite.Big_cascades.name ~device:Device.Ibm.big96
-          ~verification:Compiler.Skip
-          (Benchsuite.Big_cascades.circuit b))
-      Benchsuite.Big_cascades.all
-  in
+  (line, json)
+
+(* Runs the whole compile suite at the given fan-out; returns the wall
+   time of the suite and the per-benchmark results in spec order. *)
+let compile_suite ?(quiet = false) ~jobs () =
+  let t0 = Trace.now_ns () in
+  let results = Parallel.map_list ~jobs compile_spec (bench_specs ()) in
+  let wall = Int64.to_float (Int64.sub (Trace.now_ns ()) t0) /. 1e9 in
+  if not quiet then List.iter (fun (line, _) -> print_endline line) results;
+  (wall, results)
+
+let bench_compile_doc results =
   Trace.Json.Obj
     [
       ("schema", Trace.Json.String "qsynth-bench-compile/v1");
       ("generated_at_unix", Trace.Json.Float (Unix.time ()));
-      ("benchmarks", Trace.Json.List (single_target @ revlib @ big96));
+      ("benchmarks", Trace.Json.List (List.map snd results));
     ]
 
 let bench_compile_file = "BENCH_compile.json"
 
-let write_bench_compile () =
-  Printf.printf "\ncompile baselines (%s):\n" bench_compile_file;
-  let doc = bench_compile_json () in
+let write_bench_compile ~jobs () =
+  Printf.printf "\ncompile baselines (%s, %d job(s)):\n%!" bench_compile_file
+    jobs;
+  let wall, results = compile_suite ~jobs () in
   Out_channel.with_open_text bench_compile_file (fun oc ->
-      output_string oc (Trace.Json.to_string ~pretty:true doc);
+      output_string oc (Trace.Json.to_string ~pretty:true (bench_compile_doc results));
       output_char oc '\n');
-  Printf.printf "wrote %s\n%!" bench_compile_file
+  Printf.printf "wrote %s (%.2fs wall)\n%!" bench_compile_file wall;
+  wall
+
+(* ------------------------------------------------------------------ *)
+(* Bench history: an append-only per-commit datapoint store turning
+   BENCH_compile.json from a snapshot into a trajectory.  Each timing
+   run with --history DIR appends one line to DIR/history.jsonl
+   (schema qsynth-bench-history/v1) carrying the sequential and
+   --jobs-N wall times of the compile suite plus the speedup, and
+   mirrors it to DIR/latest.json for artifact upload.
+   bench/compare_baseline.py --history DIR flags scaling
+   regressions against the stored trajectory. *)
+
+let commit_id () =
+  match Sys.getenv_opt "QSC_COMMIT" with
+  | Some c when String.trim c <> "" -> String.trim c
+  | _ -> (
+    match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+    | ic ->
+      let line = try input_line ic with End_of_file -> "" in
+      let status = Unix.close_process_in ic in
+      (match (status, String.trim line) with
+      | Unix.WEXITED 0, c when c <> "" -> c
+      | _ -> "unknown")
+    | exception Unix.Unix_error _ -> "unknown")
+
+let append_history ~dir ~jobs ~seq_wall ~par_wall ~benchmarks =
+  let datapoint =
+    Trace.Json.Obj
+      [
+        ("schema", Trace.Json.String "qsynth-bench-history/v1");
+        ("commit", Trace.Json.String (commit_id ()));
+        ("generated_at_unix", Trace.Json.Float (Unix.time ()));
+        ("jobs", Trace.Json.Int jobs);
+        ("benchmarks", Trace.Json.Int benchmarks);
+        ("seq_wall_seconds", Trace.Json.Float seq_wall);
+        ("par_wall_seconds", Trace.Json.Float par_wall);
+        ( "speedup",
+          Trace.Json.Float (if par_wall > 0.0 then seq_wall /. par_wall else 1.0)
+        );
+      ]
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let store = Filename.concat dir "history.jsonl" in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 store in
+  output_string oc (Trace.Json.to_string datapoint);
+  output_char oc '\n';
+  close_out oc;
+  Out_channel.with_open_text (Filename.concat dir "latest.json") (fun oc ->
+      output_string oc (Trace.Json.to_string ~pretty:true datapoint);
+      output_char oc '\n');
+  Printf.printf
+    "bench history: seq %.2fs, jobs=%d %.2fs, speedup %.2fx -> %s\n%!" seq_wall
+    jobs par_wall
+    (if par_wall > 0.0 then seq_wall /. par_wall else 1.0)
+    store
 
 (* ------------------------------------------------------------------ *)
 (* Timing with Bechamel: one Test.make per table                        *)
 
-let timing () =
+let timing ?(jobs = 1) ?history () =
   section "Timing (Bechamel): synthesis procedures behind each table";
   let open Bechamel in
   let open Toolkit in
@@ -770,7 +843,17 @@ let timing () =
     rows;
   Printf.printf
     "\n(The paper reports ~10^-2 s for most benchmarks, none above ~6.5 s.)\n";
-  write_bench_compile ()
+  let par_wall = write_bench_compile ~jobs () in
+  match history with
+  | None -> ()
+  | Some dir ->
+    (* The trajectory needs both ends of the speedup ratio: reuse the
+       measured run for one end and time a quiet run for the other. *)
+    let seq_wall =
+      if jobs <= 1 then par_wall else fst (compile_suite ~quiet:true ~jobs:1 ())
+    in
+    append_history ~dir ~jobs ~seq_wall ~par_wall
+      ~benchmarks:(List.length (bench_specs ()))
 
 (* ------------------------------------------------------------------ *)
 (* fold-states: Optimize.fold_known_states over the full 34-benchmark
@@ -825,7 +908,30 @@ let foldstates () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let jobs = ref (Parallel.default_jobs ()) in
+  let history = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        jobs := j;
+        parse acc rest
+      | Some _ | None ->
+        prerr_endline "bench: --jobs wants a positive integer";
+        exit 2)
+    | [ "--jobs" ] ->
+      prerr_endline "bench: --jobs wants a value";
+      exit 2
+    | "--history" :: dir :: rest ->
+      history := Some dir;
+      parse acc rest
+    | [ "--history" ] ->
+      prerr_endline "bench: --history wants a directory";
+      exit 2
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let want s = args = [] || List.mem s args in
   let results3 = ref None and results5 = ref None in
   let get3 () =
@@ -862,5 +968,5 @@ let () =
   if want "ablations" then ablations ();
   if want "workloads" then workloads ();
   if want "foldstates" then foldstates ();
-  if want "timing" then timing ();
+  if want "timing" then timing ~jobs:!jobs ?history:!history ();
   Printf.printf "\nDone.\n"

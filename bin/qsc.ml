@@ -26,6 +26,26 @@ let device_conv =
   in
   Arg.conv (parse, fun fmt d -> Format.pp_print_string fmt (Device.name d))
 
+(* Shared --jobs flag: domain fan-out for the embarrassingly parallel
+   loops (batch compiles, fuzz cases, served batches).  The unset flag
+   falls back to QSC_JOBS, then to 1 — and every consumer guarantees
+   byte-identical output at any value, so parallelism is purely a
+   throughput knob. *)
+let jobs_term what =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          (Printf.sprintf
+             "Worker domains for %s (default: $(b,QSC_JOBS) when set, else 1 \
+              = sequential).  Output is byte-identical at every N."
+             what))
+
+let resolve_jobs = function
+  | Some n when n < 1 -> Error (`Msg "--jobs must be >= 1")
+  | opt -> Ok (Parallel.resolve_jobs opt)
+
 (* --- compile --- *)
 
 (* Failure-semantics contract of `qsc compile` (documented in README
@@ -245,7 +265,7 @@ let compile_cmd =
   let run inputs_opt inputs_pos device custom_map qubits output no_optimize
       fold_states no_verify strict weights place router trace_mode keep_going
       deadline opt_iterations swap_budget node_budget max_sim_qubits
-      verify_mode inject_specs inject_seed =
+      verify_mode inject_specs inject_seed jobs_opt =
     let inputs = inputs_opt @ inputs_pos in
     let resolve_device () =
       match (device, custom_map, qubits) with
@@ -282,10 +302,13 @@ let compile_cmd =
           | Ok specs, Ok sp -> Ok (specs @ [ sp ]))
         (Ok []) inject_specs
     in
-    match (resolve_device (), parse_inject ()) with
-    | Error e, _ | _, Error e -> Error e
-    | Ok dev, Ok specs ->
-      if inputs = [] then Error (`Msg "no input files (give FILE or -i FILE)")
+    match (resolve_device (), parse_inject (), resolve_jobs jobs_opt) with
+    | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+    | Ok dev, Ok specs, Ok jobs ->
+      if (match jobs_opt with Some n -> n > 1 | None -> false) && not keep_going
+      then Error (`Msg "--jobs applies to batch mode (add --keep-going)")
+      else if inputs = [] then
+        Error (`Msg "no input files (give FILE or -i FILE)")
       else if output <> None && List.length inputs > 1 then
         Error (`Msg "--output requires a single input")
       else begin
@@ -355,8 +378,13 @@ let compile_cmd =
           (* Batch mode owns stdout with one aggregated JSON document;
              per-input failures are collected, never fatal mid-run. *)
           let module J = Trace.Json in
+          (* Each lane is self-contained (own fault harness, own parse),
+             and results are assembled in input order, so the batch
+             document is byte-identical at every --jobs. *)
           let results =
-            List.map (fun input -> (input, compile_one input)) inputs
+            Parallel.map_list ~jobs
+              (fun input -> (input, compile_one input))
+              inputs
           in
           let status = function
             | Ok r ->
@@ -495,7 +523,8 @@ let compile_cmd =
       $ output $ no_optimize $ fold_states $ no_verify $ strict $ weights
       $ place $ router $ trace_mode $ keep_going $ deadline $ opt_iterations
       $ swap_budget $ node_budget $ max_sim_qubits $ verify_mode
-      $ inject_specs $ inject_seed)
+      $ inject_specs $ inject_seed
+      $ jobs_term "batch-mode compiles (--keep-going)")
   in
   Cmd.v
     (Cmd.info "compile"
@@ -946,7 +975,7 @@ let fuzz_cmd =
       None
   in
   let run seed count max_qubits max_gates properties time_budget corpus_dir
-      list_props =
+      list_props jobs_opt =
     if list_props then begin
       List.iter
         (fun (p : Fuzz.Property.t) ->
@@ -969,15 +998,17 @@ let fuzz_cmd =
                  name))
       in
       match
-        match properties with
-        | [] -> Ok Fuzz.Property.all
-        | names -> List.fold_left resolve (Ok []) names
+        ( (match properties with
+          | [] -> Ok Fuzz.Property.all
+          | names -> List.fold_left resolve (Ok []) names),
+          resolve_jobs jobs_opt )
       with
-      | Error e -> Error e
-      | Ok props ->
+      | Error e, _ | _, Error e -> Error e
+      | Ok props, Ok jobs ->
         let config = { Fuzz.max_qubits; max_gates } in
         let summaries =
-          Fuzz.run ~config ~seed ~count ?time_budget ~log:print_endline props
+          Fuzz.run ~config ~seed ~count ?time_budget ~jobs ~log:print_endline
+            props
         in
         let failures =
           List.concat_map (fun s -> s.Fuzz.failures) summaries
@@ -1016,7 +1047,8 @@ let fuzz_cmd =
           property holds, 123 otherwise.")
     Term.(
       const run $ seed $ count $ max_qubits $ max_gates $ properties
-      $ time_budget $ corpus_dir $ list_props)
+      $ time_budget $ corpus_dir $ list_props
+      $ jobs_term "the per-property case loop")
 
 (* --- stats --- *)
 
@@ -1269,7 +1301,7 @@ let serve_cmd =
   in
   let run socket port cache_size max_deadline max_requests cache_bytes
       persist_dir max_workers max_pending read_timeout max_frame_bytes
-      watchdog_grace max_request_mb =
+      watchdog_grace max_request_mb jobs_opt =
     let address =
       match (socket, port) with
       | Some path, None -> Ok (Serve.Unix_socket path)
@@ -1295,6 +1327,9 @@ let serve_cmd =
       else if (match max_request_mb with Some n -> n <= 0 | None -> false)
       then Error (`Msg "--max-request-mb must be positive")
       else begin
+        match resolve_jobs jobs_opt with
+        | Error e -> Error e
+        | Ok jobs ->
         let max_request_bytes =
           Option.map (fun mb -> mb * 1024 * 1024) max_request_mb
         in
@@ -1302,7 +1337,8 @@ let serve_cmd =
           Serve.create ~cache_capacity:cache_size ~max_cache_bytes:cache_bytes
             ?persist_dir ~max_deadline_seconds:max_deadline ~max_frame_bytes
             ~watchdog_grace_seconds:watchdog_grace ?max_request_bytes
-            ~read_timeout_seconds:read_timeout ~max_workers ~max_pending ()
+            ~read_timeout_seconds:read_timeout ~max_workers ~max_pending ~jobs
+            ()
         in
         (* Readiness line on stdout: harnesses wait for it before
            connecting. *)
@@ -1335,7 +1371,8 @@ let serve_cmd =
     Term.(
       const run $ socket $ port $ cache_size $ max_deadline $ max_requests
       $ cache_bytes $ persist_dir $ max_workers $ max_pending $ read_timeout
-      $ max_frame_bytes $ watchdog_grace $ max_request_mb)
+      $ max_frame_bytes $ watchdog_grace $ max_request_mb
+      $ jobs_term "batch-verb compiles")
 
 let main =
   let info =

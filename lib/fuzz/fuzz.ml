@@ -1674,7 +1674,7 @@ let safe_check (p : Property.t) case =
          (Printexc.to_string e))
 
 let run ?(config = default_config) ?(seed = 0) ?(count = 100) ?time_budget
-    ?(log = ignore) props =
+    ?(jobs = 1) ?(log = ignore) props =
   let start = Trace.now_ns () in
   let out_of_time () =
     match time_budget with
@@ -1684,6 +1684,25 @@ let run ?(config = default_config) ?(seed = 0) ?(count = 100) ?time_budget
   List.map
     (fun (p : Property.t) ->
       let prop_start = Trace.now_ns () in
+      let fail_at i s case =
+        let shrunk, shrink_steps = shrink ~check:(safe_check p) case in
+        let message =
+          match safe_check p shrunk with
+          | Property.Fail m -> m
+          | Property.Pass -> "unstable failure (passed on re-check)"
+        in
+        ( i + 1,
+          [
+            {
+              property = p.Property.name;
+              seed = s;
+              case;
+              shrunk;
+              message;
+              shrink_steps;
+            };
+          ] )
+      in
       let rec cases i failures =
         if i >= count || failures <> [] || out_of_time () then (i, failures)
         else begin
@@ -1692,26 +1711,40 @@ let run ?(config = default_config) ?(seed = 0) ?(count = 100) ?time_budget
           match safe_check p case with
           | Property.Pass -> cases (i + 1) failures
           | Property.Fail _ ->
-            let shrunk, shrink_steps = shrink ~check:(safe_check p) case in
-            let message =
-              match safe_check p shrunk with
-              | Property.Fail m -> m
-              | Property.Pass -> "unstable failure (passed on re-check)"
-            in
-            ( i + 1,
-              [
-                {
-                  property = p.Property.name;
-                  seed = s;
-                  case;
-                  shrunk;
-                  message;
-                  shrink_steps;
-                };
-              ] )
+            let i, fs = fail_at i s case in
+            cases i fs
         end
       in
-      let ran, failures = cases 0 [] in
+      (* Parallel mode scans fixed blocks of case indices: the pool
+         generates and checks every case of a block, then the block is
+         resolved in index order, so the lowest failing index wins —
+         exactly where the sequential scan would have stopped.  Case
+         [i]'s RNG is derived from (seed, i) alone and shrinking runs
+         on the winner only, on this domain, so the reported failure
+         (replay seed, shrunk case, message) is byte-identical at any
+         [--jobs].  Only a time-budget stop may differ: it is checked
+         between blocks rather than between cases. *)
+      let rec blocks i =
+        if i >= count || out_of_time () then (i, [])
+        else begin
+          let block = min (jobs * 4) (count - i) in
+          let verdicts =
+            Parallel.init ~jobs block (fun k ->
+                let s = case_seed ~seed (i + k) in
+                let case = p.Property.gen config (Random.State.make [| s |]) in
+                (s, case, safe_check p case))
+          in
+          let rec resolve k =
+            if k >= block then blocks (i + block)
+            else
+              match verdicts.(k) with
+              | _, _, Property.Pass -> resolve (k + 1)
+              | s, case, Property.Fail _ -> fail_at (i + k) s case
+          in
+          resolve 0
+        end
+      in
+      let ran, failures = if jobs <= 1 then cases 0 [] else blocks 0 in
       let elapsed = seconds_since prop_start in
       log
         (Printf.sprintf "%-26s %4d case(s) %s  (%.2fs)" p.Property.name ran

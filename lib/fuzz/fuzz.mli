@@ -185,19 +185,29 @@ type summary = {
   elapsed : float;  (** wall-clock seconds *)
 }
 
-(** [run ?config ?seed ?count ?time_budget ?log props] fuzzes each
-    property with [count] cases (default 100).  Case [i] of a property
-    draws from a state seeded with [seed + i * golden] (so the
+(** [run ?config ?seed ?count ?time_budget ?jobs ?log props] fuzzes
+    each property with [count] cases (default 100).  Case [i] of a
+    property draws from a state seeded with [seed + i * golden] (so the
     reported per-case seed replays with [--count 1]); [seed] defaults
     to 0.  [time_budget], when given, is a wall-clock cap in seconds
     over the whole run: checked between cases, a run out of time
     reports the cases finished so far.  [log] receives one progress
-    line per property. *)
+    line per property.
+
+    [jobs] (default 1) fans a property's cases across that many OCaml
+    domains.  Because every case's RNG comes from (run seed, case
+    index) alone and a failing block is resolved in index order —
+    lowest failing index wins, shrinking runs only on the winner — a
+    failure's replay seed, shrunk case and message are identical at
+    every [jobs] value.  Only the stop point of a [time_budget] run may
+    differ (the budget is checked between blocks of cases, not between
+    single cases). *)
 val run :
   ?config:config ->
   ?seed:int ->
   ?count:int ->
   ?time_budget:float ->
+  ?jobs:int ->
   ?log:(string -> unit) ->
   Property.t list ->
   summary list

@@ -198,8 +198,18 @@ let rewrite_pass ?device c =
    for one dense [Sim.unitary] ever, across sweeps and across circuits
    (the verdict depends only on the gate sequence).  The table is a pure
    cache: on overflow it is dropped wholesale and verdicts are simply
-   re-simulated. *)
-let window_memo : (Gate.t list, bool) Hashtbl.t = Hashtbl.create 4096
+   re-simulated.
+
+   Ownership: the table lives in domain-local storage, one table per
+   domain.  Domain-parallel compiles (the Parallel runner) each get a
+   private memo and never contend; the verdict is a pure function of
+   the signature, so duplicated entries across domains cost only the
+   re-simulation.  Within one domain the table is still a plain
+   Hashtbl — sys-threads of the same domain must not run optimize
+   concurrently (the serve daemon's compile lock enforces this). *)
+let window_memo_key : (Gate.t list, bool) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+
 let window_memo_limit = 65536
 
 (* Gates whose matrix can be arbitrarily close to the identity
@@ -250,6 +260,7 @@ let window_is_identity window =
       find 0 support
     in
     let signature = List.map (Gate.rename index) window in
+    let window_memo = Domain.DLS.get window_memo_key in
     (match Hashtbl.find_opt window_memo signature with
     | Some verdict -> verdict
     | None ->

@@ -15,7 +15,16 @@
     Every pass preserves the circuit's unitary exactly (not merely up to
     global phase) and never increases the cost.  When a [device] is
     supplied, rewrites never introduce a CNOT the coupling map forbids,
-    so optimizing a mapped circuit keeps it mapped. *)
+    so optimizing a mapped circuit keeps it mapped.
+
+    {b Ownership rule.}  The module's only mutable state is the
+    identity-window memo table, which lives in domain-local storage
+    ([Domain.DLS]): each domain owns a private table, so domain-parallel
+    compiles never contend and produce identical results (the cached
+    verdict is a pure function of the window signature).  Sys-threads
+    {e within} one domain must not run optimize passes concurrently —
+    callers that mix threads and optimization (the serve daemon)
+    serialize compiles per domain. *)
 
 (** [commutes g h] is a sound (not complete) commutation test: [true]
     means the gates provably commute.  Covers disjoint supports,

@@ -24,6 +24,7 @@ type t = {
   read_timeout : float;
   max_workers : int;
   max_pending : int;
+  jobs : int;  (** domain fan-out for the [batch] verb; 1 = sequential *)
   inject : (unit -> unit) option;
   trace : Trace.t;
   (* [state_lock] guards the cache, every counter and [Trace.bump]
@@ -35,6 +36,7 @@ type t = {
   mutable clock : int;  (** LRU tick; bumped on every cache touch *)
   mutable cache_bytes : int;
   mutable requests : int;
+  mutable lookups : int;  (** resolved cache consultations: hits + misses *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -62,6 +64,7 @@ let with_state t f = with_lock t.state_lock f
 
 type counters = {
   requests : int;
+  lookups : int;
   hits : int;
   misses : int;
   evictions : int;
@@ -80,10 +83,15 @@ type counters = {
   open_connections : int;
 }
 
+(* One lock acquisition for the whole snapshot: every field is read in
+   the same critical section the workers write them in, so a snapshot
+   can never be torn — [hits + misses = lookups] holds in every
+   observation, even under full compile load. *)
 let stats t =
   with_state t (fun () ->
       {
         requests = t.requests;
+        lookups = t.lookups;
         hits = t.hits;
         misses = t.misses;
         evictions = t.evictions;
@@ -281,7 +289,7 @@ let create ?(cache_capacity = 256) ?(max_cache_bytes = 64 * 1024 * 1024)
     ?persist_dir ?(max_deadline_seconds = 60.0)
     ?(max_frame_bytes = 4 * 1024 * 1024) ?(watchdog_grace_seconds = 5.0)
     ?max_request_bytes ?(read_timeout_seconds = 30.0) ?(max_workers = 8)
-    ?(max_pending = 32) ?inject ?(trace = Trace.disabled) () =
+    ?(max_pending = 32) ?(jobs = 1) ?inject ?(trace = Trace.disabled) () =
   if cache_capacity < 0 then
     invalid_arg "Serve.create: negative cache_capacity";
   if max_cache_bytes < 0 then
@@ -300,6 +308,7 @@ let create ?(cache_capacity = 256) ?(max_cache_bytes = 64 * 1024 * 1024)
     invalid_arg "Serve.create: read_timeout_seconds must be positive";
   if max_workers < 1 then invalid_arg "Serve.create: max_workers must be >= 1";
   if max_pending < 1 then invalid_arg "Serve.create: max_pending must be >= 1";
+  if jobs < 1 then invalid_arg "Serve.create: jobs must be >= 1";
   let t =
     {
       cache = Hashtbl.create (max 16 cache_capacity);
@@ -313,6 +322,7 @@ let create ?(cache_capacity = 256) ?(max_cache_bytes = 64 * 1024 * 1024)
       read_timeout = read_timeout_seconds;
       max_workers;
       max_pending;
+      jobs;
       inject;
       trace;
       state_lock = Mutex.create ();
@@ -320,6 +330,7 @@ let create ?(cache_capacity = 256) ?(max_cache_bytes = 64 * 1024 * 1024)
       clock = 0;
       cache_bytes = 0;
       requests = 0;
+      lookups = 0;
       hits = 0;
       misses = 0;
       evictions = 0;
@@ -583,66 +594,84 @@ let guarded_allocation t f =
 
 let diagnostics_json ds = J.List (List.map Diagnostic.to_json ds)
 
-(* Returns the response code and body fields for one compile request. *)
-let run_compile t j =
-  let req = parse_compile_request t j in
-  let key = cache_key req in
-  let lookup () =
-    with_state t (fun () ->
-        match Hashtbl.find_opt t.cache key with
-        | Some entry ->
-          t.hits <- t.hits + 1;
-          Trace.bump t.trace "serve_cache_hits" 1.0;
-          touch t entry;
-          Some (entry.code, entry.payload @ [ ("cached", J.Bool true) ])
-        | None -> None)
-  in
-  match lookup () with
+(* A resolved cache consultation: a hit bumps [hits] and [lookups] in
+   one critical section; [record_miss] is its counterpart, so
+   [hits + misses = lookups] holds at every instant. *)
+let cache_lookup t key =
+  with_state t (fun () ->
+      match Hashtbl.find_opt t.cache key with
+      | Some entry ->
+        t.lookups <- t.lookups + 1;
+        t.hits <- t.hits + 1;
+        Trace.bump t.trace "serve_cache_hits" 1.0;
+        touch t entry;
+        Some (entry.code, entry.payload @ [ ("cached", J.Bool true) ])
+      | None -> None)
+
+let record_miss t =
+  with_state t (fun () ->
+      t.lookups <- t.lookups + 1;
+      t.misses <- t.misses + 1;
+      Trace.bump t.trace "serve_cache_misses" 1.0)
+
+(* The pure compile core: no cache access, no locks.  Safe to run on
+   any domain — the optimizer's memo is domain-local and the GC alarm
+   inside [guarded_allocation] is domain-local too. *)
+let compile_uncached t req =
+  guarded_allocation t (fun () ->
+      (match t.inject with Some f -> f () | None -> ());
+      match Compiler.parse_source_checked ~format:req.format req.source with
+      | Error d -> Error [ d ]
+      | Ok input -> Compiler.compile_checked req.options input)
+
+let outcome_response req = function
+  | Error ds ->
+    (* Failures are cheap to recompute and usually get fixed and
+       resubmitted; only completed reports are worth cache slots. *)
+    `Fail
+      (123, [ ("status", J.String "error"); ("diagnostics", diagnostics_json ds) ])
+  | Ok report ->
+    let mismatch = report.Compiler.verification = Compiler.Mismatch in
+    let code = if mismatch then 123 else 0 in
+    let payload =
+      [
+        ("status", J.String (if mismatch then "mismatch" else "ok"));
+        ( "report",
+          scrub_report
+            (Compiler.report_to_json ~cost:req.options.Compiler.cost report) );
+      ]
+    in
+    `Report (code, payload)
+
+(* Miss path tail shared by one-shot compiles and batch lanes: render
+   the outcome, cache completed reports.  The caller has already
+   counted the miss (before compiling, so an allocation trip still
+   counts it). *)
+let finish_miss t key req outcome =
+  match outcome_response req outcome with
+  | `Fail (code, body) -> (code, body)
+  | `Report (code, payload) ->
+    with_state t (fun () -> cache_insert t key payload code);
+    (code, payload @ [ ("cached", J.Bool false) ])
+
+let compile_with_cache t req key =
+  match cache_lookup t key with
   | Some result -> result
   | None ->
     with_lock t.compile_lock (fun () ->
         (* Re-check under the compile lock: two racing misses for one
            key coalesce into a single compile, the loser taking the
            winner's report as a hit. *)
-        match lookup () with
+        match cache_lookup t key with
         | Some result -> result
         | None ->
-          with_state t (fun () ->
-              t.misses <- t.misses + 1;
-              Trace.bump t.trace "serve_cache_misses" 1.0);
-          let outcome =
-            guarded_allocation t (fun () ->
-                (match t.inject with Some f -> f () | None -> ());
-                match
-                  Compiler.parse_source_checked ~format:req.format req.source
-                with
-                | Error d -> Error [ d ]
-                | Ok input -> Compiler.compile_checked req.options input)
-          in
-          (match outcome with
-          | Error ds ->
-            (* Failures are cheap to recompute and usually get fixed and
-               resubmitted; only completed reports are worth cache
-               slots. *)
-            ( 123,
-              [
-                ("status", J.String "error");
-                ("diagnostics", diagnostics_json ds);
-              ] )
-          | Ok report ->
-            let mismatch = report.Compiler.verification = Compiler.Mismatch in
-            let code = if mismatch then 123 else 0 in
-            let payload =
-              [
-                ("status", J.String (if mismatch then "mismatch" else "ok"));
-                ( "report",
-                  scrub_report
-                    (Compiler.report_to_json ~cost:req.options.Compiler.cost
-                       report) );
-              ]
-            in
-            with_state t (fun () -> cache_insert t key payload code);
-            (code, payload @ [ ("cached", J.Bool false) ])))
+          record_miss t;
+          finish_miss t key req (compile_uncached t req))
+
+(* Returns the response code and body fields for one compile request. *)
+let run_compile t j =
+  let req = parse_compile_request t j in
+  compile_with_cache t req (cache_key req)
 
 (* --- dispatch ------------------------------------------------------ *)
 
@@ -669,6 +698,7 @@ let stats_body t =
                 ("capacity", J.Int t.capacity);
                 ("bytes", J.Int c.resident_bytes);
                 ("max_bytes", J.Int t.max_bytes);
+                ("lookups", J.Int c.lookups);
                 ("hits", J.Int c.hits);
                 ("misses", J.Int c.misses);
                 ("evictions", J.Int c.evictions);
@@ -730,21 +760,101 @@ let alloc_trip t budget =
 
 (* One entry of a batch: same shape as a compile response, minus the
    envelope (protocol/seconds live on the enclosing frame). *)
+let entry_of_response (code, body) =
+  J.Obj ([ ("ok", J.Bool (code = 0)); ("code", J.Int code) ] @ body)
+
+let reject_entry code d =
+  J.Obj
+    [
+      ("ok", J.Bool false);
+      ("code", J.Int code);
+      ("status", J.String "error");
+      ("diagnostics", diagnostics_json [ d ]);
+    ]
+
+let alloc_entry t budget =
+  let code, body = alloc_trip t budget in
+  J.Obj ([ ("ok", J.Bool false); ("code", J.Int code) ] @ body)
+
 let batch_entry t j =
   match run_compile t j with
-  | code, body ->
-    J.Obj ([ ("ok", J.Bool (code = 0)); ("code", J.Int code) ] @ body)
-  | exception Reject (code, d) ->
-    J.Obj
-      [
-        ("ok", J.Bool false);
-        ("code", J.Int code);
-        ("status", J.String "error");
-        ("diagnostics", diagnostics_json [ d ]);
-      ]
-  | exception Allocation_budget_exceeded budget ->
-    let code, body = alloc_trip t budget in
-    J.Obj ([ ("ok", J.Bool false); ("code", J.Int code) ] @ body)
+  | response -> entry_of_response response
+  | exception Reject (code, d) -> reject_entry code d
+  | exception Allocation_budget_exceeded budget -> alloc_entry t budget
+
+(* Domain-parallel batch.  Only the pure compiles fan out: the cache
+   protocol is replayed strictly sequentially in request order
+   (phase 3), so response bytes, counters and LRU order are identical
+   to a sequential run of the same batch on an idle server.
+
+   Phase 1 parses every lane and predicts which distinct keys a
+   sequential run would have to compile (first occurrence of a key not
+   already cached).  Phase 2 compiles exactly those, in parallel, with
+   no locks held — each domain owns its optimizer memo and its GC
+   alarm.  Phase 3 walks the lanes in order running the normal
+   lookup/miss protocol, substituting a precomputed outcome where one
+   exists; a predicted hit whose entry was evicted in the meantime
+   simply falls back to the sequential inline path, so correctness
+   never depends on the prediction. *)
+let batch_parallel t ~jobs requests =
+  let lanes =
+    List.map
+      (fun rj ->
+        match parse_compile_request t rj with
+        | req -> `Parsed (req, cache_key req)
+        | exception Reject (code, d) -> `Rejected (code, d))
+      requests
+  in
+  let to_compile = Hashtbl.create 16 in
+  with_state t (fun () ->
+      List.iter
+        (function
+          | `Rejected _ -> ()
+          | `Parsed (req, key) ->
+            if
+              (not (Hashtbl.mem t.cache key))
+              && not (Hashtbl.mem to_compile key)
+            then Hashtbl.add to_compile key req)
+        lanes);
+  let missing =
+    Hashtbl.fold (fun key req acc -> (key, req) :: acc) to_compile []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let precomputed = Hashtbl.create 16 in
+  Parallel.map_list ~jobs
+    (fun (key, req) ->
+      let outcome =
+        match compile_uncached t req with
+        | outcome -> `Outcome outcome
+        | exception Allocation_budget_exceeded budget -> `Alloc budget
+      in
+      (key, outcome))
+    missing
+  |> List.iter (fun (key, outcome) -> Hashtbl.replace precomputed key outcome);
+  List.map
+    (function
+      | `Rejected (code, d) -> reject_entry code d
+      | `Parsed (req, key) -> (
+        match cache_lookup t key with
+        | Some response -> entry_of_response response
+        | None -> (
+          match Hashtbl.find_opt precomputed key with
+          | Some (`Alloc budget) ->
+            (* Sequential order: the miss is counted, then the compile
+               trips the allocation breaker. *)
+            record_miss t;
+            alloc_entry t budget
+          | Some (`Outcome outcome) ->
+            record_miss t;
+            entry_of_response (finish_miss t key req outcome)
+          | None -> (
+            (* Predicted hit evicted mid-batch: compile inline exactly
+               as the sequential run would. *)
+            match compile_with_cache t req key with
+            | response -> entry_of_response response
+            | exception Allocation_budget_exceeded budget ->
+              alloc_entry t budget))))
+    lanes
 
 let run_batch t j =
   let requests =
@@ -753,7 +863,10 @@ let run_batch t j =
     | Some _ -> misuse "field \"requests\" must be a list"
     | None -> missing_field "batch request is missing \"requests\""
   in
-  let results = List.map (batch_entry t) requests in
+  let results =
+    if t.jobs <= 1 then List.map (batch_entry t) requests
+    else batch_parallel t ~jobs:t.jobs requests
+  in
   let code_of = function
     | J.Obj fields -> (
       match List.assoc_opt "code" fields with Some (J.Int c) -> c | _ -> 125)

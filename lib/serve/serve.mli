@@ -137,6 +137,13 @@ exception Allocation_budget_exceeded of int
     [max_pending] (default 32) bounds the admission queue, beyond which
     connections are shed.
 
+    Parallelism: [jobs] (default 1) is the domain fan-out for the
+    [batch] verb — a batch's cache-missing compiles run on up to [jobs]
+    OCaml domains at once, while the cache protocol itself stays
+    sequential in request order, so a batch response is byte-identical
+    to the [jobs = 1] run of the same batch on an idle server (counters
+    and LRU order included).
+
     [inject] (default none) is a fault hook for robustness tests and
     the chaos harness: it is called once per cache-missing compile,
     before the compiler runs, and whatever it raises (or however long
@@ -155,13 +162,18 @@ val create :
   ?read_timeout_seconds:float ->
   ?max_workers:int ->
   ?max_pending:int ->
+  ?jobs:int ->
   ?inject:(unit -> unit) ->
   ?trace:Trace.t ->
   unit ->
   t
 
-(** Counter snapshot.  [resident]/[resident_bytes] describe the live
-    cache; [warmed] counts entries loaded from the persistent store at
+(** Counter snapshot, taken in one critical section so it is never
+    torn: [hits + misses = lookups] holds in {e every} snapshot, even
+    while workers are compiling ([lookups] counts resolved cache
+    consultations — each request that consulted the cache is counted
+    exactly once, as a hit or as a miss).
+    [resident]/[resident_bytes] describe the live cache; [warmed] counts entries loaded from the persistent store at
     {!create}; [shed]/[drained] count refused connections (queue full /
     shutdown drain); [watchdog_trips]/[alloc_trips] count supervised
     requests answered 125 on behalf of a wedged or over-allocating
@@ -172,6 +184,7 @@ val create :
     the regression handle for the old grow-only thread list). *)
 type counters = {
   requests : int;
+  lookups : int;
   hits : int;
   misses : int;
   evictions : int;

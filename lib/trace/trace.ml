@@ -31,7 +31,13 @@ type span = {
   counters : (string * float) list;
 }
 
+(* A recording sink may be shared by several threads or domains (the
+   serve worker pool bumps cache counters on one sink from every
+   worker), so every mutable field is guarded by [lock].  The Disabled
+   constructor never allocates a recorder, keeping the disabled path
+   lock-free and allocation-free. *)
 type recorder = {
+  lock : Mutex.t;
   mutable rev_spans : span list;
   mutable count : int;
   born_ns : int64;
@@ -45,11 +51,22 @@ let disabled = Disabled
 let create () =
   Recording
     {
+      lock = Mutex.create ();
       rev_spans = [];
       count = 0;
       born_ns = now_ns ();
       totals = Hashtbl.create 16;
     }
+
+let with_lock r f =
+  Mutex.lock r.lock;
+  match f () with
+  | v ->
+    Mutex.unlock r.lock;
+    v
+  | exception e ->
+    Mutex.unlock r.lock;
+    raise e
 
 let enabled = function
   | Disabled -> false
@@ -95,6 +112,11 @@ let record r s after counters =
   r.count <- r.count + 1;
   r.rev_spans <- span :: r.rev_spans
 
+let record r s after counters =
+  (* The span index is assigned under the lock, so concurrent stops get
+     distinct, dense indices. *)
+  with_lock r (fun () -> record r s after counters)
+
 let stop t s ?(counters = []) () =
   match t with
   | Disabled -> ()
@@ -107,7 +129,7 @@ let stop_with t s ?cost ?(counters = []) c =
 
 let spans = function
   | Disabled -> []
-  | Recording r -> List.rev r.rev_spans
+  | Recording r -> with_lock r (fun () -> List.rev r.rev_spans)
 
 let total_wall_seconds = function
   | Disabled -> 0.0
@@ -117,15 +139,17 @@ let bump t name delta =
   match t with
   | Disabled -> ()
   | Recording r ->
-    let current =
-      match Hashtbl.find_opt r.totals name with Some v -> v | None -> 0.0
-    in
-    Hashtbl.replace r.totals name (current +. delta)
+    with_lock r (fun () ->
+        let current =
+          match Hashtbl.find_opt r.totals name with Some v -> v | None -> 0.0
+        in
+        Hashtbl.replace r.totals name (current +. delta))
 
 let counter_totals = function
   | Disabled -> []
   | Recording r ->
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.totals []
+    with_lock r (fun () ->
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.totals [])
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let to_text spans =

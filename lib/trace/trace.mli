@@ -10,7 +10,16 @@
     shared immutable constant, {!start} on it returns a preallocated
     token without reading any clock, and {!stop_with} on it returns
     before computing a snapshot.  Pipeline code therefore threads the
-    sink unconditionally and never branches on {!enabled} itself. *)
+    sink unconditionally and never branches on {!enabled} itself.
+
+    {b Ownership rule.}  A recording sink is safe to share between
+    threads and between domains: {!bump}, {!stop}/{!stop_with},
+    {!spans} and {!counter_totals} synchronize on a per-sink mutex, so
+    concurrent increments are never lost and reads always see a
+    consistent snapshot.  Span {e tokens} remain single-use and must
+    not be shared — open and close a given span from one thread.  The
+    serve daemon relies on this: every worker bumps cache counters on
+    the one process-wide sink while [stats] reads totals. *)
 
 (** {2 Clocks} *)
 
@@ -102,11 +111,13 @@ val total_wall_seconds : t -> float
     span per request alive forever, but its counters are bounded. *)
 
 (** [bump t name delta] adds [delta] to the named counter (created at 0
-    on first use).  Free on a disabled sink. *)
+    on first use).  Free on a disabled sink.  Atomic: concurrent bumps
+    from many threads or domains are all applied — none are lost. *)
 val bump : t -> string -> float -> unit
 
 (** [counter_totals t] lists the accumulated named counters sorted by
-    name (empty on a disabled sink). *)
+    name (empty on a disabled sink).  The listing is a consistent
+    snapshot taken under the sink's lock. *)
 val counter_totals : t -> (string * float) list
 
 (** {2 Rendering} *)

@@ -266,6 +266,103 @@ let test_batch_aggregates () =
   check_bool "single after batch hits" true
     (bool_field "cached" (rpc t (compile_req sample_qasm)))
 
+(* --- parallelism: counter consistency and batch identity --- *)
+
+let cache_counters t =
+  let c = field "cache" (field "stats" (rpc t [ ("op", J.String "stats") ])) in
+  (int_field "lookups" c, int_field "hits" c, int_field "misses" c)
+
+let test_lookups_count_resolved_consultations () =
+  let t = Serve.create () in
+  ignore (rpc t (compile_req sample_qasm));
+  ignore (rpc t (compile_req sample_qasm));
+  ignore (rpc t (compile_req (sample_qasm ^ "x q[0];\n")));
+  let lookups, hits, misses = cache_counters t in
+  check_int "hits" 1 hits;
+  check_int "misses" 2 misses;
+  check_int "lookups = hits + misses" (hits + misses) lookups
+
+let test_stats_snapshot_is_never_torn () =
+  (* The stats verb once read counter fields without the state lock, so
+     a reader racing a compile could catch a request after its hit/miss
+     bump but before (or after) its lookup bump — a torn snapshot where
+     hits + misses <> lookups.  Hammer the daemon with compiling
+     threads while a reader asserts the invariant on every snapshot. *)
+  let t = Serve.create () in
+  let stop = Atomic.make false in
+  let torn = Atomic.make 0 in
+  let reader =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          let c = Serve.stats t in
+          if c.Serve.hits + c.Serve.misses <> c.Serve.lookups then
+            Atomic.incr torn;
+          Thread.yield ()
+        done)
+      ()
+  in
+  let sources =
+    List.init 6 (fun i ->
+        sample_qasm ^ String.concat "" (List.init i (fun _ -> "x q[0];\n")))
+  in
+  let compilers =
+    List.map
+      (fun source ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to 3 do
+              ignore (rpc t (compile_req source))
+            done)
+          ())
+      sources
+  in
+  List.iter Thread.join compilers;
+  Atomic.set stop true;
+  Thread.join reader;
+  check_int "no torn snapshot observed" 0 (Atomic.get torn);
+  (* 6 distinct sources, each requested 3 times. *)
+  let lookups, hits, misses = cache_counters t in
+  check_int "misses" 6 misses;
+  check_int "hits" 12 hits;
+  check_int "lookups" (hits + misses) lookups
+
+let test_parallel_batch_matches_sequential () =
+  (* A daemon created with ~jobs:4 fans batch lanes across domains; the
+     guarantee is byte-identical output AND identical cache counters to
+     the sequential daemon — duplicates, per-lane failures and the
+     cached flags included. *)
+  let lanes =
+    [
+      List.tl (compile_req sample_qasm);
+      List.tl (compile_req sample_qasm) (* duplicate: replays as a hit *);
+      [ ("device", J.String "ibmqx4") ] (* missing source: 123 *);
+      List.tl (compile_req ~device:"nosuch" sample_qasm) (* 124 *);
+      List.tl (compile_req (sample_qasm ^ "x q[0];\n"));
+      List.tl (compile_req "OPENQASM 2.0;\nqreg q[2];\nbogus q[0];\n");
+      List.tl (compile_req sample_qasm) (* late duplicate: also a hit *);
+    ]
+  in
+  let batch =
+    [
+      ("op", J.String "batch");
+      ("requests", J.List (List.map (fun fields -> J.Obj fields) lanes));
+    ]
+  in
+  let run jobs =
+    let t = Serve.create ~jobs () in
+    let r = rpc t batch in
+    (J.to_string (field "results" r), int_field "code" r, cache_counters t)
+  in
+  let seq_results, seq_code, (sl, sh, sm) = run 1 in
+  let par_results, par_code, (pl, ph, pm) = run 4 in
+  check_string "results byte-identical" seq_results par_results;
+  check_int "envelope code" seq_code par_code;
+  check_int "lookups" sl pl;
+  check_int "hits" sh ph;
+  check_int "misses" sm pm;
+  check_int "invariant" (ph + pm) pl
+
 (* --- the socket layer --- *)
 
 let temp_socket_path () =
@@ -751,6 +848,15 @@ let () =
           Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
           Alcotest.test_case "zero capacity disables" `Quick
             test_zero_capacity_disables_caching;
+          Alcotest.test_case "lookups count resolved consultations" `Quick
+            test_lookups_count_resolved_consultations;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "stats snapshot is never torn" `Quick
+            test_stats_snapshot_is_never_torn;
+          Alcotest.test_case "parallel batch matches sequential" `Quick
+            test_parallel_batch_matches_sequential;
         ] );
       ( "robustness",
         [
