@@ -12,8 +12,16 @@ bench/baseline.json:
   (generous, to tolerate CI machine noise).
 
 Usage: compare_baseline.py [--metrics-only] CURRENT BASELINE
+       compare_baseline.py --optimize CURRENT BASELINE
        compare_baseline.py --history DIR
 Exits non-zero with a per-benchmark report on any violation.
+
+The --optimize form guards the rewrite-template tier instead: CURRENT
+and BASELINE are BENCH_optimize.json documents
+(qsynth-bench-optimize/v1, written by `bench/main.exe optimize`).  A
+benchmark whose with-tier T-count or Eqn. 2 cost exceeds the baseline
+has lost a merge and fails, as does any oracle rejection, a missing
+benchmark, or a drop in the total improved count.
 
 --metrics-only skips the wall-time comparison: the CI parallel job
 uses it to pin a --jobs N run byte-identical to the sequential run,
@@ -101,10 +109,73 @@ def check_history(store_dir):
     )
 
 
+COST_EPS = 1e-6
+
+
+def check_optimize(current_path, baseline_path):
+    with open(current_path) as f:
+        current = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    for doc, path in ((current, current_path), (baseline, baseline_path)):
+        if doc.get("schema") != "qsynth-bench-optimize/v1":
+            sys.exit(f"{path}: not a qsynth-bench-optimize/v1 document")
+
+    cur = {(b["suite"], b["name"]): b for b in current["benchmarks"]}
+    base = {(b["suite"], b["name"]): b for b in baseline["benchmarks"]}
+    failures = []
+
+    for key in sorted(base.keys() - cur.keys()):
+        failures.append(f"{key[0]}/{key[1]}: missing from current run")
+
+    for key in sorted(base.keys() & cur.keys()):
+        b, c = base[key], cur[key]
+        name = f"{key[0]}/{key[1]}"
+        if c["oracle"] == "rejected":
+            failures.append(f"{name}: equivalence oracle REJECTED the tier output")
+        bt, ct = b["with_tier"], c["with_tier"]
+        if ct["t_count"] > bt["t_count"]:
+            failures.append(
+                f"{name}: with-tier T-count regressed "
+                f"{bt['t_count']} -> {ct['t_count']} (lost a merge)"
+            )
+        if ct["cost"] > bt["cost"] + COST_EPS:
+            failures.append(
+                f"{name}: with-tier cost regressed "
+                f"{bt['cost']:.1f} -> {ct['cost']:.1f}"
+            )
+
+    if current["improved"] < baseline["improved"]:
+        failures.append(
+            f"improved count dropped: {baseline['improved']} -> "
+            f"{current['improved']} of {current['total']}"
+        )
+
+    if failures:
+        print("optimize regression guard FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    gained = [
+        f"{k[0]}/{k[1]}"
+        for k in sorted(base.keys() & cur.keys())
+        if cur[k]["with_tier"]["t_count"] < base[k]["with_tier"]["t_count"]
+        or cur[k]["with_tier"]["cost"] < base[k]["with_tier"]["cost"] - COST_EPS
+    ]
+    print(
+        f"optimize regression guard ok: {len(cur)} benchmarks, "
+        f"{current['improved']}/{current['total']} improved"
+        + (f", {len(gained)} beat the baseline" if gained else "")
+    )
+
+
 def main():
     argv = sys.argv[1:]
     if len(argv) == 2 and argv[0] == "--history":
         check_history(argv[1])
+        return
+    if len(argv) == 3 and argv[0] == "--optimize":
+        check_optimize(argv[1], argv[2])
         return
     metrics_only = False
     if argv and argv[0] == "--metrics-only":
@@ -112,7 +183,8 @@ def main():
         argv = argv[1:]
     if len(argv) != 2:
         sys.exit(
-            f"usage: {sys.argv[0]} [--metrics-only] CURRENT BASELINE | --history DIR"
+            f"usage: {sys.argv[0]} [--metrics-only] CURRENT BASELINE "
+            f"| --optimize CURRENT BASELINE | --history DIR"
         )
     with open(argv[0]) as f:
         current = json.load(f)

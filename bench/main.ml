@@ -906,6 +906,155 @@ let foldstates () =
   if rejected || improved = 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* optimize: the rewrite-template tier over the full 34-benchmark
+   suite, after native lowering (where the T gates live).  For every
+   benchmark the circuit is optimized once with the tier disabled and
+   once with the default rule selection; the per-benchmark gate
+   volume / T-count / Eqn. 2 cost both ways plus the per-rule
+   application counts land in BENCH_optimize.json
+   (qsynth-bench-optimize/v1), the regression baseline
+   compare_baseline.py --optimize guards.  Small widths are certified
+   by the exact QMDD oracle.  Exits nonzero when the oracle rejects,
+   or when fewer than MIN_IMPROVED benchmarks strictly improve. *)
+
+let optimize_min_improved = 25
+
+let optimize_spec (suite, name, circuit) =
+  (* Barenco lowering of the widest cascades borrows a work qubit; the
+     compiler gets one from the device register, so hand the bare
+     circuit the same courtesy. *)
+  let rec lower extra c =
+    let widened = Circuit.make ~n:(Circuit.n_qubits c + extra) (Circuit.gates c) in
+    match Decompose.to_native widened with
+    | native -> native
+    | exception Decompose.Not_enough_qubits _ when extra < 3 ->
+      lower (extra + 1) c
+  in
+  let native = lower 0 (circuit ()) in
+  let base = Optimize.optimize ~rules:Rewrite.empty_selection native in
+  let trace = Trace.create () in
+  let tier = Optimize.optimize ~trace native in
+  let sb = Circuit.stats base and st = Circuit.stats tier in
+  let cost_b = Cost.evaluate Cost.eqn2 base
+  and cost_t = Cost.evaluate Cost.eqn2 tier in
+  let improved =
+    st.Circuit.t_count < sb.Circuit.t_count || cost_t < cost_b -. 1e-9
+  in
+  (* The dense oracle caps out early; QMDD certifies up to mid widths,
+     and the 96-qubit cascades rely on the per-pass cost guard plus the
+     strict-mode compile path exercised elsewhere. *)
+  let oracle =
+    if Circuit.n_qubits native <= 10 then
+      if Qmdd.equivalent ~up_to_phase:false native tier then `Ok else `Rejected
+    else `Skipped
+  in
+  let rule_counts =
+    List.filter_map
+      (fun (k, v) ->
+        let p = "rewrite/" in
+        let pl = String.length p in
+        if String.length k > pl && String.sub k 0 pl = p then
+          Some (String.sub k pl (String.length k - pl), v)
+        else None)
+      (Trace.counter_totals trace)
+    |> List.sort compare
+  in
+  let line =
+    Printf.sprintf
+      "  %-12s %-12s gates %5d -> %5d  T %4d -> %4d  cost %9.1f -> %9.1f  %s%s"
+      suite name sb.Circuit.gate_volume st.Circuit.gate_volume
+      sb.Circuit.t_count st.Circuit.t_count cost_b cost_t
+      (match oracle with
+      | `Ok -> "oracle ok"
+      | `Rejected -> "ORACLE-REJECTED"
+      | `Skipped -> "oracle skipped")
+      (if improved then "" else "  (no gain)")
+  in
+  let stats_json s cost =
+    Trace.Json.Obj
+      [
+        ("gate_volume", Trace.Json.Int s.Circuit.gate_volume);
+        ("t_count", Trace.Json.Int s.Circuit.t_count);
+        ("cnot_count", Trace.Json.Int s.Circuit.cnot_count);
+        ("cost", Trace.Json.Float cost);
+      ]
+  in
+  let json =
+    Trace.Json.Obj
+      [
+        ("suite", Trace.Json.String suite);
+        ("name", Trace.Json.String name);
+        ("qubits", Trace.Json.Int (Circuit.n_qubits native));
+        ("without_tier", stats_json sb cost_b);
+        ("with_tier", stats_json st cost_t);
+        ("improved", Trace.Json.Bool improved);
+        ( "oracle",
+          Trace.Json.String
+            (match oracle with
+            | `Ok -> "ok"
+            | `Rejected -> "rejected"
+            | `Skipped -> "skipped") );
+        ( "rules",
+          Trace.Json.Obj
+            (List.map (fun (k, v) -> (k, Trace.Json.Float v)) rule_counts) );
+      ]
+  in
+  (line, json, improved, oracle = `Rejected)
+
+let optimize_bench_file = "BENCH_optimize.json"
+
+let optimize_section ~jobs () =
+  section "Optimization: rewrite-template tier over the benchmark suite";
+  let specs =
+    List.map
+      (fun b ->
+        ( "single-target",
+          b.Benchsuite.Single_target.name,
+          fun () -> Benchsuite.Single_target.circuit b ))
+      Benchsuite.Single_target.all
+    @ List.map
+        (fun b ->
+          ( "revlib",
+            b.Benchsuite.Revlib_cascades.name,
+            fun () -> Benchsuite.Revlib_cascades.circuit b ))
+        Benchsuite.Revlib_cascades.all
+    @ List.map
+        (fun b ->
+          ( "big-cascades",
+            b.Benchsuite.Big_cascades.name,
+            fun () -> Benchsuite.Big_cascades.circuit b ))
+        Benchsuite.Big_cascades.all
+  in
+  let results = Parallel.map_list ~jobs optimize_spec specs in
+  List.iter (fun (line, _, _, _) -> print_endline line) results;
+  let improved =
+    List.length (List.filter (fun (_, _, i, _) -> i) results)
+  in
+  let rejected = List.exists (fun (_, _, _, r) -> r) results in
+  let doc =
+    Trace.Json.Obj
+      [
+        ("schema", Trace.Json.String "qsynth-bench-optimize/v1");
+        ("generated_at_unix", Trace.Json.Float (Unix.time ()));
+        ("improved", Trace.Json.Int improved);
+        ("total", Trace.Json.Int (List.length results));
+        ( "benchmarks",
+          Trace.Json.List (List.map (fun (_, j, _, _) -> j) results) );
+      ]
+  in
+  Out_channel.with_open_text optimize_bench_file (fun oc ->
+      output_string oc (Trace.Json.to_string ~pretty:true doc);
+      output_char oc '\n');
+  Printf.printf
+    "\n%d of %d benchmarks strictly improved (T-count or cost); oracle %s\n\
+     wrote %s\n"
+    improved (List.length results)
+    (if rejected then "REJECTED at least one tier output"
+     else "accepted every checked output")
+    optimize_bench_file;
+  if rejected || improved < optimize_min_improved then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let jobs = ref (Parallel.default_jobs ()) in
@@ -968,5 +1117,6 @@ let () =
   if want "ablations" then ablations ();
   if want "workloads" then workloads ();
   if want "foldstates" then foldstates ();
+  if want "optimize" then optimize_section ~jobs:!jobs ();
   if want "timing" then timing ~jobs:!jobs ?history:!history ();
   Printf.printf "\nDone.\n"

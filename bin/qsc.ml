@@ -262,10 +262,20 @@ let compile_cmd =
       & info [ "inject-seed" ] ~docv:"N"
           ~doc:"Seed for $(b,--inject) randomness.")
   in
+  let opt_rules =
+    Arg.(
+      value & opt string ""
+      & info [ "opt-rules" ] ~docv:"LIST"
+          ~doc:
+            "Rewrite-template tier rule selection: comma-separated names \
+             processed left to right — $(b,all)/$(b,none)/$(b,default) \
+             reset the set, a bare name adds, $(b,-name) removes.  See \
+             $(b,qsc optimize --list-rules) for the registry.")
+  in
   let run inputs_opt inputs_pos device custom_map qubits output no_optimize
       fold_states no_verify strict weights place router trace_mode keep_going
       deadline opt_iterations swap_budget node_budget max_sim_qubits
-      verify_mode inject_specs inject_seed jobs_opt =
+      verify_mode inject_specs inject_seed opt_rules jobs_opt =
     let inputs = inputs_opt @ inputs_pos in
     let resolve_device () =
       match (device, custom_map, qubits) with
@@ -302,9 +312,15 @@ let compile_cmd =
           | Ok specs, Ok sp -> Ok (specs @ [ sp ]))
         (Ok []) inject_specs
     in
-    match (resolve_device (), parse_inject (), resolve_jobs jobs_opt) with
-    | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
-    | Ok dev, Ok specs, Ok jobs ->
+    let parse_rules () =
+      match Rewrite.parse_selection opt_rules with
+      | Ok rules -> Ok rules
+      | Error msg -> Error (`Msg (Printf.sprintf "--opt-rules: %s" msg))
+    in
+    match (resolve_device (), parse_inject (), resolve_jobs jobs_opt, parse_rules ()) with
+    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
+      Error e
+    | Ok dev, Ok specs, Ok jobs, Ok rewrite_rules ->
       if (match jobs_opt with Some n -> n > 1 | None -> false) && not keep_going
       then Error (`Msg "--jobs applies to batch mode (add --keep-going)")
       else if inputs = [] then
@@ -356,6 +372,7 @@ let compile_cmd =
             Compiler.post_optimize = not no_optimize;
             Compiler.fold_states;
             Compiler.check_contracts = strict;
+            Compiler.rewrite_rules;
             Compiler.verification;
             Compiler.budgets;
             Compiler.inject;
@@ -523,7 +540,7 @@ let compile_cmd =
       $ output $ no_optimize $ fold_states $ no_verify $ strict $ weights
       $ place $ router $ trace_mode $ keep_going $ deadline $ opt_iterations
       $ swap_budget $ node_budget $ max_sim_qubits $ verify_mode
-      $ inject_specs $ inject_seed
+      $ inject_specs $ inject_seed $ opt_rules
       $ jobs_term "batch-mode compiles (--keep-going)")
   in
   Cmd.v
@@ -533,6 +550,175 @@ let compile_cmd =
           Exits 0 on success (including budget-degraded and unverified \
           outputs), 123 on reported failures (diagnostics, MISMATCH, failed \
           batch inputs), 124 on command-line misuse, 125 on internal errors.")
+    term
+
+(* --- optimize --- *)
+
+let optimize_cmd =
+  let input =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Input circuit (.qasm, .qc, .real).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the optimized circuit as OpenQASM 2.0 (default: stdout).")
+  in
+  let device =
+    Arg.(
+      value
+      & opt (some device_conv) None
+      & info [ "d"; "device" ] ~docv:"DEVICE"
+          ~doc:
+            "Optional target device: direction-changing templates refuse \
+             CNOT orientations the coupling map forbids, and \
+             $(b,--objective fidelity) calibrates against it.")
+  in
+  let opt_rules =
+    Arg.(
+      value & opt string ""
+      & info [ "opt-rules" ] ~docv:"LIST"
+          ~doc:
+            "Rule selection for the rewrite-template tier (see \
+             $(b,--list-rules)): comma-separated names processed left to \
+             right — $(b,all)/$(b,none)/$(b,default) reset the set, a bare \
+             name adds, $(b,-name) removes.")
+  in
+  let objective =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("eqn2", `Eqn2); ("gate-volume", `Volume);
+               ("t-weighted", `T_weighted); ("fidelity", `Fidelity);
+             ])
+          `Eqn2
+      & info [ "objective" ] ~docv:"KIND"
+          ~doc:
+            "Cost objective that guards every pass (a pass whose result \
+             costs more is reverted): $(b,eqn2) (the paper's 0.5t + 0.25c \
+             + a), $(b,gate-volume), $(b,t-weighted) (10t + c + a), or \
+             $(b,fidelity) (synthetic-calibration log-fidelity; requires \
+             $(b,--device)).")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Report per-rule application counts after the summary.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Certify the rewrite tier with the exact equivalence oracle \
+             (dense simulation or QMDD, never up to phase); a rejected \
+             result is reverted.")
+  in
+  let list_rules =
+    Arg.(
+      value & flag
+      & info [ "list-rules" ]
+          ~doc:"Print the rewrite-rule registry and exit.")
+  in
+  let run input output device rules_str objective explain check list_rules =
+    if list_rules then begin
+      Format.printf "%-22s %-36s %-14s %s@." "RULE" "PATTERN" "REPLACEMENT"
+        "SIDE CONDITION";
+      List.iter
+        (fun r ->
+          Format.printf "%-22s %-36s %-14s %s@." r.Rewrite.name
+            r.Rewrite.pattern_doc r.Rewrite.replacement_doc r.Rewrite.guard_doc)
+        Rewrite.rules;
+      Format.printf "%-22s engine passes, toggleable by the same names@."
+        (String.concat ", " Rewrite.engine_pass_names);
+      Ok ()
+    end
+    else
+      match input with
+      | None -> Error (`Msg "no input file (give FILE, or --list-rules)")
+      | Some path -> (
+        let objective =
+          match (objective, device) with
+          | `Eqn2, _ -> Ok Cost.eqn2
+          | `Volume, _ -> Ok Cost.gate_volume
+          | `T_weighted, _ -> Ok Cost.t_weighted
+          | `Fidelity, Some d ->
+            Ok (Calibration.log_fidelity_cost (Calibration.synthetic d))
+          | `Fidelity, None -> Error (`Msg "--objective fidelity requires --device")
+        in
+        match (objective, Rewrite.parse_selection rules_str) with
+        | Error e, _ -> Error e
+        | _, Error msg -> Error (`Msg (Printf.sprintf "--opt-rules: %s" msg))
+        | Ok cost, Ok rules -> (
+          match Compiler.parse_file_checked path with
+          | Error d -> Error (`Msg (Diagnostic.to_string d))
+          | Ok (Compiler.Classical _) ->
+            Error
+              (`Msg
+                 "qsc optimize takes a circuit; compile the switching \
+                  function first (qsc compile)")
+          | Ok (Compiler.Quantum circuit) ->
+            let trace = Trace.create () in
+            let optimized =
+              Optimize.optimize ?device ~cost ~trace ~rules
+                ~rewrite_check:check circuit
+            in
+            let before = Circuit.stats circuit
+            and after = Circuit.stats optimized in
+            Format.printf "%-14s %10s %10s@." "" "before" "after";
+            let row name f =
+              Format.printf "%-14s %10d %10d@." name (f before) (f after)
+            in
+            row "gate volume" (fun s -> s.Circuit.gate_volume);
+            row "T count" (fun s -> s.Circuit.t_count);
+            row "CNOT count" (fun s -> s.Circuit.cnot_count);
+            Format.printf "%-14s %10.2f %10.2f  (%s)@." "cost"
+              (Cost.evaluate cost circuit)
+              (Cost.evaluate cost optimized)
+              (Cost.name cost);
+            if explain then begin
+              let fired =
+                List.filter_map
+                  (fun (k, v) ->
+                    let p = "rewrite/" in
+                    let pl = String.length p in
+                    if String.length k > pl && String.sub k 0 pl = p then
+                      Some (String.sub k pl (String.length k - pl), v)
+                    else None)
+                  (Trace.counter_totals trace)
+              in
+              if fired = [] then Format.printf "no template rewrites fired@."
+              else
+                List.iter
+                  (fun (name, v) -> Format.printf "  %-24s %6.0f@." name v)
+                  (List.sort compare fired)
+            end;
+            let qasm = Qformats.Qasm.to_string optimized in
+            (match output with
+            | Some path ->
+              Out_channel.with_open_text path (fun oc -> output_string oc qasm);
+              Format.printf "wrote %s@." path
+            | None -> print_string qasm);
+            Ok ()))
+  in
+  let term =
+    Term.(
+      const run $ input $ output $ device $ opt_rules $ objective $ explain
+      $ check $ list_rules)
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Run the device-independent optimizer (cancellation, identity \
+          windows, and the rewrite-template tier) on a circuit without \
+          mapping it, under a selectable cost objective.")
     term
 
 (* --- devices --- *)
@@ -1383,8 +1569,9 @@ let main =
   in
   Cmd.group info
     [
-      compile_cmd; devices_cmd; complexity_cmd; qmdd_cmd; check_cmd; lint_cmd;
-      analyze_cmd; fuzz_cmd; stats_cmd; run_cmd; serve_cmd;
+      compile_cmd; optimize_cmd; devices_cmd; complexity_cmd; qmdd_cmd;
+      check_cmd; lint_cmd; analyze_cmd; fuzz_cmd; stats_cmd; run_cmd;
+      serve_cmd;
     ]
 
 (* Exit-code boundary, implementing the README "Failure semantics"

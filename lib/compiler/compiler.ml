@@ -28,6 +28,7 @@ type options = {
   use_placement : bool;
   verification : verification_mode;
   check_contracts : bool;
+  rewrite_rules : Rewrite.selection;
   budgets : budgets;
   inject : (Diagnostic.stage -> Circuit.t -> Circuit.t) option;
 }
@@ -43,6 +44,7 @@ let default_options ~device =
     use_placement = false;
     verification = Qmdd_check { node_budget = Some 8_000_000 };
     check_contracts = false;
+    rewrite_rules = Rewrite.default_selection;
     budgets = no_budgets;
     inject = None;
   }
@@ -399,7 +401,9 @@ let compile_checked ?(trace = Trace.disabled) options input =
         let outcome =
           guard Diagnostic.Pre_optimize (fun () ->
               Optimize.optimize_budgeted ~cost:Cost.eqn2 ~trace
-                ~stage:"pre-optimize" ?max_iterations ?deadline_ns reference)
+                ~stage:"pre-optimize" ~rules:options.rewrite_rules
+                ~rewrite_check:options.check_contracts ?max_iterations
+                ?deadline_ns reference)
         in
         let was_degraded = optimize_outcome Diagnostic.Pre_optimize outcome in
         Trace.stop_with trace sp ~cost
@@ -519,13 +523,16 @@ let compile_checked ?(trace = Trace.disabled) options input =
         let swap_outcome =
           guard Diagnostic.Post_optimize (fun () ->
               Optimize.optimize_budgeted ~device ~cost ~trace
-                ~stage:"post-optimize/swap-level" ?max_iterations ?deadline_ns
-                routed_swaps)
+                ~stage:"post-optimize/swap-level" ~rules:options.rewrite_rules
+                ~rewrite_check:options.check_contracts ?max_iterations
+                ?deadline_ns routed_swaps)
         in
         let gate_outcome =
           guard Diagnostic.Post_optimize (fun () ->
               Optimize.optimize_budgeted ~device ~cost ~trace
-                ~stage:"post-optimize/gate-level" ?max_iterations ?deadline_ns
+                ~stage:"post-optimize/gate-level" ~rules:options.rewrite_rules
+                ~rewrite_check:options.check_contracts ?max_iterations
+                ?deadline_ns
                 (Route.expand_swaps device swap_outcome.Optimize.circuit))
         in
         let was_degraded =
@@ -774,6 +781,7 @@ let canonical_options options =
     | Fallback { node_budget; max_sim_qubits } ->
       Printf.sprintf "fallback:%s:%d" (opt_int node_budget) max_sim_qubits);
   flag "check_contracts" options.check_contracts;
+  field "rewrite_rules" (Rewrite.selection_to_string options.rewrite_rules);
   field "deadline_seconds" (opt_float options.budgets.deadline_seconds);
   field "max_optimize_iterations"
     (opt_int options.budgets.max_optimize_iterations);

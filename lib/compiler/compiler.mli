@@ -132,7 +132,15 @@ type options = {
           {!compile}) naming the stage that fired.  When routing
           degraded under a [swap_budget], the device-legality contract
           is skipped — the unrouted CNOTs are expected.  Off by
-          default; [qsc compile --strict] turns it on. *)
+          default; [qsc compile --strict] turns it on.  Strict mode
+          also makes every {!Rewrite} tier application oracle-checked
+          with revert-on-reject. *)
+  rewrite_rules : Rewrite.selection;
+      (** which {!Rewrite} templates and engine passes the optimizer's
+          rewrite tier may apply (default
+          {!Rewrite.default_selection}; {!Rewrite.empty_selection}
+          disables the tier).  [qsc compile --opt-rules LIST] sets
+          it. *)
   budgets : budgets;
   inject : (Diagnostic.stage -> Circuit.t -> Circuit.t) option;
       (** fault-injection hook for robustness testing (see

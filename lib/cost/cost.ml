@@ -14,6 +14,13 @@ let eqn2 =
   linear ~name:"eqn2 (0.5t + 0.25c + a)" ~t_weight:0.5 ~cnot_weight:0.25
     ~gate_weight:1.0
 
+let gate_volume =
+  linear ~name:"gate-volume" ~t_weight:0.0 ~cnot_weight:0.0 ~gate_weight:1.0
+
+let t_weighted =
+  linear ~name:"t-weighted (10t + c + a)" ~t_weight:10.0 ~cnot_weight:1.0
+    ~gate_weight:1.0
+
 let name c = c.name
 let evaluate c circuit = c.evaluate circuit
 

@@ -28,6 +28,15 @@ val custom : name:string -> (Circuit.t -> float) -> t
 (** Eqn. 2 of the paper: weights 0.5 / 0.25 / 1. *)
 val eqn2 : t
 
+(** Plain gate count: every gate weighs 1.  The simplest objective for
+    the {!Rewrite} tier ([qsc optimize --objective gate-volume]). *)
+val gate_volume : t
+
+(** T-dominated weights (10t + c + a) for fault-tolerant targets where
+    T gates dwarf everything else; drives the optimizer toward the
+    phase-polynomial T-count reductions. *)
+val t_weighted : t
+
 val name : t -> string
 
 (** [evaluate c circuit] is the quantum cost of [circuit]. *)

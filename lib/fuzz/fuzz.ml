@@ -1451,6 +1451,62 @@ module Property = struct
         | _ -> wrong_case "serve-chaos");
     }
 
+  (* 14. The rewrite tier is sound on its own: every template and
+     engine pass preserves the exact unitary (no global-phase slack)
+     and never raises the selected cost objective — under both the
+     paper's Eqn. 2 weights and plain gate volume, since the tier's
+     revert logic is objective-dependent. *)
+  let rewrite_sound =
+    {
+      name = "rewrite-sound";
+      doc = "rewrite tier preserves the exact unitary under every objective";
+      paper = "Sec. 4 (rule-driven optimization)";
+      gen =
+        (fun cfg st ->
+          let c =
+            Gen.circuit ~max_qubits:(min 6 cfg.max_qubits)
+              ~max_gates:cfg.max_gates st
+          in
+          Circuit_case { circuit = c; device = None; budget = None });
+      check =
+        (function
+        | Circuit_case { circuit = c; _ } ->
+          let objective cost =
+            let out = Rewrite.apply ~cost ~check:false c in
+            let c' = out.Rewrite.circuit in
+            let before = Cost.evaluate cost c
+            and after = Cost.evaluate cost c' in
+            check_all
+              [
+                ( (fun () -> Sim.equivalent ~up_to_phase:false c c'),
+                  fun () ->
+                    Printf.sprintf
+                      "rewrite changed the unitary under %s (applied: %s)"
+                      (Cost.name cost)
+                      (String.concat ", "
+                         (List.map fst out.Rewrite.applied)) );
+                ( (fun () -> after <= before +. 1e-9),
+                  fun () ->
+                    Printf.sprintf "cost (%s) increased: %g -> %g"
+                      (Cost.name cost) before after );
+                ( (fun () ->
+                    out.Rewrite.applied <> []
+                    || Circuit.gates c' = Circuit.gates c),
+                  fun () ->
+                    "empty applied list but the circuit changed" );
+              ]
+          in
+          let rec first_failure = function
+            | [] -> Pass
+            | cost :: rest -> (
+              match objective cost with
+              | Pass -> first_failure rest
+              | Fail _ as f -> f)
+          in
+          first_failure [ Cost.eqn2; Cost.gate_volume; Cost.t_weighted ]
+        | _ -> wrong_case "rewrite-sound");
+    }
+
   let all =
     [
       compile_sim_equivalent;
@@ -1466,6 +1522,7 @@ module Property = struct
       absint_sound;
       serve_protocol;
       serve_chaos;
+      rewrite_sound;
     ]
 
   let find name = List.find_opt (fun p -> p.name = name) all

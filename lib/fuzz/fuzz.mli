@@ -49,6 +49,14 @@ module Gen : sig
       unitary. *)
   val angle : float t
 
+  (** The deliberate edge-angle list {!angle} draws from half the time:
+      0, [±pi], [±2pi], [pi/2], [±pi/4], values within 1e-13 of 0 and
+      of the fold boundary, and 1e6.  Exposed so metamorphic tests over
+      rotation folding (e.g. [Rz(a); Rz(b) = Rz(a+b)]) can enumerate
+      every boundary pair instead of waiting for the generator to find
+      them. *)
+  val edge_angles : float list
+
   (** [gate ~n] draws from the full gate set that fits an [n]-qubit
       register: all one-qubit gates at any width, CNOT/CZ/SWAP from 2
       qubits, Toffoli from 3, and an occasional 3-control generalized

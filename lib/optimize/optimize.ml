@@ -60,8 +60,40 @@ let commutes_with_support sg g sh h =
           | Gate.Cnot _ | Gate.Swap _ | Gate.Toffoli _ | Gate.Mct _ ->
             false)
       in
+      (* Same-wire same-axis pairs: X and Rx are both functions of the
+         Pauli X (likewise Y/Ry), so they commute on a shared wire.
+         The old table missed these — Rx is neither diagonal nor
+         NOT-family — silently blocking rotation merges through an
+         interposed X. *)
+      let x_axis = function
+        | Gate.X a | Gate.Rx (_, a) -> Some a
+        | _ -> None
+      and y_axis = function
+        | Gate.Y a | Gate.Ry (_, a) -> Some a
+        | _ -> None
+      in
+      let same_axis_pair =
+        (match (x_axis g, x_axis h) with
+        | Some a, Some b -> a = b
+        | _ -> false)
+        ||
+        match (y_axis g, y_axis h) with
+        | Some a, Some b -> a = b
+        | _ -> false
+      in
+      (* An Rx on the target of a NOT-family gate commutes with it: the
+         controlled bit flip acts as X (or I) on the target, and Rx is
+         a function of X.  (Plain X-on-target was already covered by
+         the NOT-family pair rule below; Rx was not.) *)
+      let rx_vs_not r nf =
+        match (r, not_family nf) with
+        | Gate.Rx (_, q), Some (_, target) -> q = target
+        | _ -> false
+      in
       if diag g && diag_vs_not g h then true
       else if diag h && diag_vs_not h g then true
+      else if same_axis_pair then true
+      else if rx_vs_not g h || rx_vs_not h g then true
       else
         match (not_family g, not_family h) with
         | Some (cg, tg), Some (ch, th) ->
@@ -307,9 +339,22 @@ type outcome = {
 }
 
 let optimize_budgeted ?device ?(cost = Cost.eqn2) ?(trace = Trace.disabled)
-    ?(stage = "optimize") ?max_iterations ?deadline_ns c =
+    ?(stage = "optimize") ?(rules = Rewrite.default_selection)
+    ?(rewrite_check = false) ?max_iterations ?deadline_ns c =
+  (* The template/rotation/phase/Clifford tier sits between the
+     peephole passes and identity-window removal: it is internally
+     cost-guarded (a pass that does not improve [cost] is dropped) and,
+     with [rewrite_check], oracle-checked with revert-on-reject. *)
+  let rewrite_tier circuit =
+    if Rewrite.selection_is_empty rules then circuit
+    else
+      (Rewrite.apply ?device ~selection:rules ~cost ~check:rewrite_check
+         ~trace circuit)
+        .Rewrite.circuit
+  in
   let pass circuit =
-    circuit |> cancel_pass |> rewrite_pass ?device |> remove_identity_windows
+    circuit |> cancel_pass |> rewrite_pass ?device |> rewrite_tier
+    |> remove_identity_windows
   in
   let past_deadline () =
     match deadline_ns with
@@ -352,8 +397,9 @@ let optimize_budgeted ?device ?(cost = Cost.eqn2) ?(trace = Trace.disabled)
   in
   loop 1 c (Cost.evaluate cost c)
 
-let optimize ?device ?cost ?trace ?stage c =
-  (optimize_budgeted ?device ?cost ?trace ?stage c).circuit
+let optimize ?device ?cost ?trace ?stage ?rules ?rewrite_check c =
+  (optimize_budgeted ?device ?cost ?trace ?stage ?rules ?rewrite_check c)
+    .circuit
 
 (* ---- abstract-state folding ------------------------------------------ *)
 

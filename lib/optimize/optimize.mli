@@ -28,8 +28,9 @@
 
 (** [commutes g h] is a sound (not complete) commutation test: [true]
     means the gates provably commute.  Covers disjoint supports,
-    diagonal gates, control sharing, and target sharing of
-    NOT-family gates. *)
+    diagonal gates, control sharing, target sharing of NOT-family
+    gates, same-wire same-axis pairs (X/Rx and Y/Ry), and Rx on a
+    NOT-family gate's target. *)
 val commutes : Gate.t -> Gate.t -> bool
 
 (** [merge_gates g h] combines the earlier gate [g] with the later gate
@@ -71,31 +72,42 @@ type outcome = {
   hit_deadline : bool;  (** stopped by [deadline_ns] *)
 }
 
-(** [optimize_budgeted ?device ?cost ?trace ?stage ?max_iterations
-    ?deadline_ns c] runs all passes toward a fixed point of the cost
-    function (default {!Cost.eqn2}), stopping early — with the best
-    circuit found so far, never an exception — when the sweep count
-    would exceed [max_iterations] or the monotonic clock passes
-    [deadline_ns] (a {!Trace.now_ns} instant).  Budgets are checked
-    between sweeps, so a single sweep is the granularity of the
-    deadline.  The result never costs more than the input.
+(** [optimize_budgeted ?device ?cost ?trace ?stage ?rules
+    ?rewrite_check ?max_iterations ?deadline_ns c] runs all passes
+    toward a fixed point of the cost function (default {!Cost.eqn2}),
+    stopping early — with the best circuit found so far, never an
+    exception — when the sweep count would exceed [max_iterations] or
+    the monotonic clock passes [deadline_ns] (a {!Trace.now_ns}
+    instant).  Budgets are checked between sweeps, so a single sweep is
+    the granularity of the deadline.  The result never costs more than
+    the input.
+
+    Each sweep also runs the {!Rewrite} tier — templates, rotation
+    merging, phase-polynomial merging, Clifford normalization — under
+    the rule selection [rules] (default {!Rewrite.default_selection};
+    pass {!Rewrite.empty_selection} to disable the tier).  With
+    [rewrite_check], every tier application is validated by the exact
+    equivalence oracle and reverted on rejection (strict mode).
 
     When [trace] is a recording sink, every fixpoint iteration records
     one span named ["<stage>/iteration-<i>"] (default stage
     ["optimize"]) with before/after snapshots under [cost] and an
     [improved] counter — the final, rejected sweep included, since its
-    time is spent either way. *)
+    time is spent either way — and the tier bumps one
+    ["rewrite/<rule>"] counter per applied rule. *)
 val optimize_budgeted :
   ?device:Device.t ->
   ?cost:Cost.t ->
   ?trace:Trace.t ->
   ?stage:string ->
+  ?rules:Rewrite.selection ->
+  ?rewrite_check:bool ->
   ?max_iterations:int ->
   ?deadline_ns:int64 ->
   Circuit.t ->
   outcome
 
-(** [optimize ?device ?cost ?trace ?stage c] is
+(** [optimize ?device ?cost ?trace ?stage ?rules ?rewrite_check c] is
     [(optimize_budgeted ... c).circuit] with no budgets: runs to the
     fixed point. *)
 val optimize :
@@ -103,6 +115,8 @@ val optimize :
   ?cost:Cost.t ->
   ?trace:Trace.t ->
   ?stage:string ->
+  ?rules:Rewrite.selection ->
+  ?rewrite_check:bool ->
   Circuit.t ->
   Circuit.t
 

@@ -1,0 +1,186 @@
+(** Declarative rewrite-template peephole engine.
+
+    The tier above {!Optimize}'s cancellation/identity-window passes, in
+    the spirit of quilc's compressor and staq's rotation folding: a
+    registry of named, individually toggleable rewrite templates
+    (pattern = contiguous gate sequence over wire/angle metavariables
+    plus a side condition; replacement = template instantiation), and
+    three engine-level passes templates alone cannot express —
+    same-axis rotation merging, phase-polynomial merging across CNOT
+    ladders, and Clifford normalization of one-qubit runs.
+
+    Every rule preserves the circuit's unitary {e exactly} — not merely
+    up to global phase — matching the optimizer's contract (rotation
+    deletion therefore requires the folded angle to be a multiple of
+    4 pi, since Rz(2 pi) = -I).  {!apply} additionally guards each pass
+    behind the selected cost objective (a pass whose result costs more
+    is reverted) and, with [check], behind an exact equivalence oracle
+    with revert-on-reject, mirroring {!Optimize.fold_known_states}. *)
+
+(** {1 Patterns} *)
+
+(** One gate of a pattern.  Integer arguments are {e metavariable
+    indices}, not qubits: the same index must match the same wire (or
+    angle) everywhere it appears; distinct indices may match the same
+    wire unless the rule's side condition says otherwise.  [Pcz] and
+    [Pswap] match their operands in either order. *)
+type gate_pattern =
+  | Px of int
+  | Py of int
+  | Pz of int
+  | Ph of int
+  | Ps of int
+  | Psdg of int
+  | Pt of int
+  | Ptdg of int
+  | Prx of int * int  (** angle metavariable, wire metavariable *)
+  | Pry of int * int
+  | Prz of int * int
+  | Pphase of int * int
+  | Pcnot of int * int  (** control, target *)
+  | Pcz of int * int
+  | Pswap of int * int
+
+(** A successful match's metavariable bindings. *)
+type env
+
+(** [wire env v] is the qubit bound to wire metavariable [v].
+    @raise Not_found when unbound. *)
+val wire : env -> int -> int
+
+(** [angle env v] is the angle bound to angle metavariable [v].
+    @raise Not_found when unbound. *)
+val angle : env -> int -> float
+
+(** {1 The rule registry} *)
+
+type rule = {
+  name : string;  (** unique registry key, e.g. ["h-x-h-to-z"] *)
+  doc : string;
+  pattern : gate_pattern list;
+  pattern_doc : string;  (** e.g. ["H a; X a; H a"] *)
+  guard : device:Device.t option -> env -> bool;
+      (** side condition; sees the device so direction-changing rules
+          can refuse illegal CNOT orientations and SWAP-introducing
+          rules can restrict themselves to unmapped circuits *)
+  guard_doc : string;  (** ["-"] when unconditional *)
+  replacement : env -> Gate.t list;
+  replacement_doc : string;
+  default_on : bool;
+}
+
+(** All registered templates, in match-priority order.  Every
+    replacement is strictly shorter than its pattern, so template
+    application terminates. *)
+val rules : rule list
+
+val find_rule : string -> rule option
+
+(** Names of the three engine passes (["rotation-merge"],
+    ["phase-merge"], ["clifford-normalize"]), toggleable exactly like
+    template names. *)
+val engine_pass_names : string list
+
+(** Template names followed by {!engine_pass_names}. *)
+val all_names : string list
+
+(** {1 Rule selection} *)
+
+(** A set of enabled rule/pass names, canonically ordered. *)
+type selection
+
+val default_selection : selection
+val empty_selection : selection
+val selection_is_empty : selection -> bool
+val enabled : selection -> string -> bool
+
+(** [parse_selection s] reads a comma-separated rule list.  Tokens are
+    processed left to right: [all], [none] and [default] reset the set,
+    a bare name adds, [-name] removes.  The set starts from
+    {!default_selection} when the first token is a removal (so
+    ["-phase-merge"] means "everything but phase merging"), and empty
+    otherwise (so ["rotation-merge"] means "only rotation merging").
+    The empty string is {!default_selection}; unknown names are an
+    [Error]. *)
+val parse_selection : string -> (selection, string) result
+
+(** Canonical rendering: comma-separated sorted enabled names, ["none"]
+    when empty.  [parse_selection] of the result round-trips.  Stable,
+    so it is safe to embed in {!Compiler.canonical_options} digests. *)
+val selection_to_string : selection -> string
+
+(** {1 Engine passes}
+
+    Each returns the rewritten circuit and the number of gates it
+    eliminated (0 means the circuit is returned unchanged). *)
+
+(** Folds runs of same-axis Rx/Ry/Rz on one qubit into a single
+    rotation, commuting pending rotations through compatible gates
+    (a pending Rz slides past diagonal gates and CNOT controls, a
+    pending Rx past X and CNOT targets, a pending Ry past Y).  The
+    folded rotation is deleted only when its angle is a multiple of
+    4 pi (within 1e-12): Rz(2 pi) = -I, and the optimizer promises
+    exactness. *)
+val merge_rotations : Circuit.t -> Circuit.t * int
+
+(** Phase-polynomial merging in the spirit of staq: tracks each wire's
+    affine parity (XOR of input variables plus a constant) through
+    CNOT/X/SWAP, allocating a fresh variable whenever a non-affine gate
+    (H, Y, Rx, Ry, Toffoli target, ...) writes a wire, and merges
+    diagonal rotations applied to the same parity term — Rz with Rz
+    (negating through a set constant bit), phase-family gates
+    (Z/S/Sdg/T/Tdg/Phase) with each other via {!Gate.phase_gate}, which
+    re-expresses the folded angle as the cheapest Clifford+T gate.
+    This is the pass that reduces T-count across CNOT ladders. *)
+val merge_phase_polynomial : Circuit.t -> Circuit.t * int
+
+(** Replaces runs of one-qubit Clifford gates (X/Y/Z/H/S/Sdg on one
+    wire, other wires' gates interleaving freely) by the shortest word
+    with the {e exact} same 2x2 matrix — global phase included — from a
+    table of the Clifford group enumerated over that alphabet.  Runs
+    are only replaced when the normal form is strictly shorter. *)
+val normalize_cliffords : Circuit.t -> Circuit.t * int
+
+(** [apply_templates ?device ?selection c] applies enabled templates to
+    a fixpoint and reports per-rule application counts. *)
+val apply_templates :
+  ?device:Device.t ->
+  ?selection:selection ->
+  Circuit.t ->
+  Circuit.t * (string * int) list
+
+(** {1 The tier} *)
+
+type outcome = {
+  circuit : Circuit.t;
+  applied : (string * int) list;
+      (** rule/pass name -> times applied (gates eliminated for engine
+          passes); only names that fired *)
+  checked : bool;  (** the equivalence oracle ran *)
+  ok : bool;  (** oracle accepted; [false] reverts to the input *)
+}
+
+(** [apply ?device ?selection ?cost ?check ?trace c] runs templates,
+    rotation merging, phase-polynomial merging and Clifford
+    normalization in that order.  Each pass is kept only when it does
+    not increase [cost] (default {!Cost.eqn2}); a reverted pass bumps
+    the ["rewrite/reverted"] counter.  Accepted passes bump
+    ["rewrite/<name>"] counters on [trace] — per template name for
+    template applications — which is what [qsc optimize --explain]
+    reports.
+
+    With [check] (default off; the compiler turns it on in strict
+    mode), the final circuit is validated against the input by an exact
+    equivalence oracle — dense {!Sim.equivalent} up to
+    {!Sim.max_unitary_qubits} wires, {!Qmdd.equivalent} beyond, both
+    with [up_to_phase:false] — and on rejection the input comes back
+    unchanged with [ok = false] and a ["rewrite/oracle-rejected"]
+    bump. *)
+val apply :
+  ?device:Device.t ->
+  ?selection:selection ->
+  ?cost:Cost.t ->
+  ?check:bool ->
+  ?trace:Trace.t ->
+  Circuit.t ->
+  outcome

@@ -156,6 +156,35 @@ let test_commutes_rules () =
   check_bool "control-target clash" false (Optimize.commutes (cnot 0 1) (cnot 1 2));
   check_bool "H on shared qubit" false (Optimize.commutes (Gate.H 0) (cnot 0 1))
 
+(* Gaps the old commutation table missed: X/Rx (and Y/Ry) on a shared
+   wire are both functions of the same Pauli, and an Rx on a CNOT
+   target commutes just like X does.  Each pin here failed before the
+   table was extended. *)
+let test_commutes_rotation_fixes () =
+  let cnot a b = Gate.Cnot { control = a; target = b } in
+  check_bool "Rx through target" true (Optimize.commutes (Gate.Rx (0.4, 1)) (cnot 0 1));
+  check_bool "Rx on control" false (Optimize.commutes (Gate.Rx (0.4, 0)) (cnot 0 1));
+  check_bool "X with Rx shared wire" true (Optimize.commutes (Gate.X 0) (Gate.Rx (0.4, 0)));
+  check_bool "Y with Ry shared wire" true (Optimize.commutes (Gate.Y 2) (Gate.Ry (0.4, 2)));
+  check_bool "X with Ry shared wire" false (Optimize.commutes (Gate.X 0) (Gate.Ry (0.4, 0)));
+  check_bool "Y with Rx shared wire" false (Optimize.commutes (Gate.Y 0) (Gate.Rx (0.4, 0)));
+  (* The cancellations the new rules unlock. *)
+  let through_target = circ [ Gate.Rx (0.4, 1); cnot 0 1; Gate.Rx (-0.4, 1) ] in
+  let out = Optimize.cancel_pass through_target in
+  check_int "Rx pair cancels through CNOT target" 1 (Circuit.gate_count out);
+  check_bool "Rx cancellation exact" true
+    (Sim.equivalent ~up_to_phase:false through_target out);
+  let through_y = circ [ Gate.Ry (0.3, 0); Gate.Y 0; Gate.Ry (-0.3, 0) ] in
+  let out = Optimize.cancel_pass through_y in
+  check_int "Ry pair cancels through Y" 1 (Circuit.gate_count out);
+  check_bool "Ry cancellation exact" true
+    (Sim.equivalent ~up_to_phase:false through_y out);
+  (* Rx on the control must NOT slide: H-basis check that the unsound
+     direction stays blocked. *)
+  let on_control = circ [ Gate.Rx (0.4, 0); cnot 0 1; Gate.Rx (-0.4, 0) ] in
+  check_int "Rx on control stays" 3
+    (Circuit.gate_count (Optimize.cancel_pass on_control))
+
 let test_phase_chain_collapses () =
   (* T.T.T.T = Z through repeated pairwise fusion (T.T = S, S.S = Z);
      needs the fixed-point loop, not a single pass. *)
@@ -264,6 +293,8 @@ let () =
           Alcotest.test_case "cascade" `Quick test_optimize_fixed_point;
           Alcotest.test_case "meaning preserved" `Quick test_optimize_keeps_meaning;
           Alcotest.test_case "commutation rules" `Quick test_commutes_rules;
+          Alcotest.test_case "rotation commutation fixes" `Quick
+            test_commutes_rotation_fixes;
           Alcotest.test_case "phase chain" `Quick test_phase_chain_collapses;
           Alcotest.test_case "lookback bound" `Quick test_lookback_bound;
           QCheck_alcotest.to_alcotest prop_device_optimize_stays_legal;

@@ -1,0 +1,531 @@
+(* Tests for the rewrite-template peephole engine: every template gets a
+   fire case (exact before/after pin plus unitary check) and a near-miss
+   the side condition must block; the three engine passes get pinned
+   merge counts; the rotation-fold metamorphic tests sweep every pair of
+   the fuzzer's edge angles; and T-count deltas on the classic
+   benchmarks are pinned so a regression in phase merging is loud. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let pi = 4.0 *. atan 1.0
+
+let circ ?(n = 4) gates = Circuit.make ~n gates
+
+let sel name =
+  match Rewrite.parse_selection name with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "parse_selection %S: %s" name e
+
+(* Apply exactly one template (no engine passes) and return the gates. *)
+let fire_one ?device name gates =
+  let c = circ gates in
+  let out, applied = Rewrite.apply_templates ?device ~selection:(sel name) c in
+  (Circuit.gates out, applied)
+
+(* --- registry --- *)
+
+let template_names = List.map (fun r -> r.Rewrite.name) Rewrite.rules
+
+let test_registry_complete () =
+  check_int "thirteen templates" 13 (List.length Rewrite.rules);
+  check_bool "names unique" true
+    (List.length (List.sort_uniq compare template_names)
+    = List.length template_names);
+  List.iter
+    (fun r ->
+      check_bool (r.Rewrite.name ^ " findable") true
+        (Rewrite.find_rule r.Rewrite.name <> None);
+      check_bool (r.Rewrite.name ^ " documented") true
+        (r.Rewrite.doc <> "" && r.Rewrite.pattern_doc <> ""
+        && r.Rewrite.guard_doc <> ""
+        && r.Rewrite.replacement_doc <> ""))
+    Rewrite.rules;
+  check_bool "engine passes named" true
+    (Rewrite.engine_pass_names
+    = [ "rotation-merge"; "phase-merge"; "clifford-normalize" ]);
+  check_bool "all_names = templates @ passes" true
+    (Rewrite.all_names = template_names @ Rewrite.engine_pass_names);
+  check_bool "unknown rule absent" true (Rewrite.find_rule "bogus" = None)
+
+let test_selection_parsing () =
+  check_bool "empty string is default" true
+    (Rewrite.selection_to_string (sel "")
+    = Rewrite.selection_to_string Rewrite.default_selection);
+  check_bool "none is empty" true (Rewrite.selection_is_empty (sel "none"));
+  check_bool "default not empty" true
+    (not (Rewrite.selection_is_empty Rewrite.default_selection));
+  List.iter
+    (fun n -> check_bool (n ^ " on under all") true (Rewrite.enabled (sel "all") n))
+    Rewrite.all_names;
+  let minus = sel "-phase-merge" in
+  check_bool "removal starts from default" true
+    (Rewrite.enabled minus "rotation-merge"
+    && not (Rewrite.enabled minus "phase-merge"));
+  let only = sel "rotation-merge" in
+  check_bool "bare name starts empty" true
+    (Rewrite.enabled only "rotation-merge"
+    && not (Rewrite.enabled only "h-x-h-to-z"));
+  let reset = sel "none,h-x-h-to-z" in
+  check_bool "none resets" true
+    (Rewrite.enabled reset "h-x-h-to-z"
+    && not (Rewrite.enabled reset "h-z-h-to-x"));
+  check_bool "unknown name rejected" true
+    (match Rewrite.parse_selection "bogus" with Error _ -> true | Ok _ -> false);
+  check_bool "unknown removal rejected" true
+    (match Rewrite.parse_selection "-bogus" with Error _ -> true | Ok _ -> false);
+  (* Canonical rendering round-trips. *)
+  List.iter
+    (fun s ->
+      let rendered = Rewrite.selection_to_string (sel s) in
+      check_bool (s ^ " round-trips") true
+        (Rewrite.selection_to_string (sel rendered) = rendered))
+    [ ""; "none"; "all"; "-phase-merge"; "rotation-merge,h-x-h-to-z" ];
+  check_bool "empty renders none" true
+    (Rewrite.selection_to_string Rewrite.empty_selection = "none")
+
+(* --- per-template fire + near-miss --- *)
+
+(* (rule, input, expected output).  Each expected replacement is also
+   verified against the dense oracle, so a wrong pin cannot hide. *)
+let fire_cases =
+  [
+    ( "cnot-reversal",
+      [ Gate.H 0; Gate.H 1; Gate.Cnot { control = 0; target = 1 };
+        Gate.H 0; Gate.H 1 ],
+      [ Gate.Cnot { control = 1; target = 0 } ] );
+    ( "cnot-reversal",
+      (* H order swapped relative to the CNOT operands. *)
+      [ Gate.H 1; Gate.H 0; Gate.Cnot { control = 0; target = 1 };
+        Gate.H 1; Gate.H 0 ],
+      [ Gate.Cnot { control = 1; target = 0 } ] );
+    ("h-x-h-to-z", [ Gate.H 0; Gate.X 0; Gate.H 0 ], [ Gate.Z 0 ]);
+    ("h-z-h-to-x", [ Gate.H 2; Gate.Z 2; Gate.H 2 ], [ Gate.X 2 ]);
+    ( "h-cz-h-to-cnot",
+      [ Gate.H 1; Gate.Cz (0, 1); Gate.H 1 ],
+      [ Gate.Cnot { control = 0; target = 1 } ] );
+    ( "h-cz-h-to-cnot",
+      (* CZ is symmetric: operand order must not matter. *)
+      [ Gate.H 1; Gate.Cz (1, 0); Gate.H 1 ],
+      [ Gate.Cnot { control = 0; target = 1 } ] );
+    ( "x-rz-x-flip",
+      [ Gate.X 0; Gate.Rz (0.7, 0); Gate.X 0 ],
+      [ Gate.Rz (-0.7, 0) ] );
+    ( "x-ry-x-flip",
+      [ Gate.X 1; Gate.Ry (1.1, 1); Gate.X 1 ],
+      [ Gate.Ry (-1.1, 1) ] );
+    ( "z-rx-z-flip",
+      [ Gate.Z 0; Gate.Rx (0.3, 0); Gate.Z 0 ],
+      [ Gate.Rx (-0.3, 0) ] );
+    ( "z-ry-z-flip",
+      [ Gate.Z 3; Gate.Ry (0.4, 3); Gate.Z 3 ],
+      [ Gate.Ry (-0.4, 3) ] );
+    ( "h-rx-h-to-rz",
+      [ Gate.H 0; Gate.Rx (0.9, 0); Gate.H 0 ],
+      [ Gate.Rz (0.9, 0) ] );
+    ( "h-rz-h-to-rx",
+      [ Gate.H 0; Gate.Rz (0.6, 0); Gate.H 0 ],
+      [ Gate.Rx (0.6, 0) ] );
+    ("sdg-x-s-to-y", [ Gate.Sdg 0; Gate.X 0; Gate.S 0 ], [ Gate.Y 0 ]);
+    ("s-y-sdg-to-x", [ Gate.S 0; Gate.Y 0; Gate.Sdg 0 ], [ Gate.X 0 ]);
+    ( "cnot-triple-to-swap",
+      [ Gate.Cnot { control = 0; target = 1 };
+        Gate.Cnot { control = 1; target = 0 };
+        Gate.Cnot { control = 0; target = 1 } ],
+      [ Gate.Swap (0, 1) ] );
+  ]
+
+(* (rule, input that must survive untouched).  Wire mismatches, wrong
+   conjugation order (S X Sdg = -Y, not Y — only exact identities may
+   fire), and patterns that almost line up. *)
+let near_miss_cases =
+  [
+    ( "cnot-reversal",
+      [ Gate.H 0; Gate.H 2; Gate.Cnot { control = 0; target = 1 };
+        Gate.H 0; Gate.H 2 ] );
+    ("h-x-h-to-z", [ Gate.H 0; Gate.X 1; Gate.H 0 ]);
+    ("h-z-h-to-x", [ Gate.H 0; Gate.Z 0; Gate.H 1 ]);
+    ("h-cz-h-to-cnot", [ Gate.H 0; Gate.Cz (1, 2); Gate.H 0 ]);
+    ("x-rz-x-flip", [ Gate.X 0; Gate.Rz (0.7, 1); Gate.X 0 ]);
+    ("x-ry-x-flip", [ Gate.X 0; Gate.Ry (1.1, 0); Gate.X 1 ]);
+    ("z-rx-z-flip", [ Gate.Z 0; Gate.Rx (0.3, 1); Gate.Z 0 ]);
+    ("z-ry-z-flip", [ Gate.Z 1; Gate.Ry (0.4, 0); Gate.Z 0 ]);
+    ("h-rx-h-to-rz", [ Gate.H 0; Gate.Rx (0.9, 1); Gate.H 0 ]);
+    ("h-rz-h-to-rx", [ Gate.H 1; Gate.Rz (0.6, 0); Gate.H 0 ]);
+    ("sdg-x-s-to-y", [ Gate.S 0; Gate.X 0; Gate.Sdg 0 ]);
+    ("s-y-sdg-to-x", [ Gate.Sdg 0; Gate.Y 0; Gate.S 0 ]);
+    ( "cnot-triple-to-swap",
+      [ Gate.Cnot { control = 0; target = 1 };
+        Gate.Cnot { control = 1; target = 0 };
+        Gate.Cnot { control = 1; target = 0 } ] );
+  ]
+
+let test_templates_fire () =
+  List.iter
+    (fun (name, input, expected) ->
+      let got, applied = fire_one name input in
+      check_bool (name ^ " pinned output") true (got = expected);
+      check_bool (name ^ " reported") true (List.mem_assoc name applied);
+      Testutil.assert_unitary_equal (name ^ " exact") (circ input)
+        (circ expected))
+    fire_cases
+
+let test_templates_near_miss () =
+  List.iter
+    (fun (name, input) ->
+      let got, applied = fire_one name input in
+      check_bool (name ^ " near-miss untouched") true (got = input);
+      check_bool (name ^ " near-miss silent") true (applied = []))
+    near_miss_cases;
+  (* The phase-only conjugations must not fire under ANY template: the
+     full registry has to leave -Y and -X alone. *)
+  List.iter
+    (fun input ->
+      let out, _ = Rewrite.apply_templates (circ input) in
+      check_bool "phase-off conjugation untouched" true
+        (Circuit.gates out = input))
+    [ [ Gate.S 0; Gate.X 0; Gate.Sdg 0 ]; [ Gate.Sdg 0; Gate.Y 0; Gate.S 0 ] ]
+
+let test_device_guards () =
+  let one_way = Device.make ~name:"one-way" ~n_qubits:2 [ (0, 1) ] in
+  let both = Device.make ~name:"both" ~n_qubits:2 [ (0, 1); (1, 0) ] in
+  let reversal =
+    [ Gate.H 0; Gate.H 1; Gate.Cnot { control = 0; target = 1 };
+      Gate.H 0; Gate.H 1 ]
+  in
+  (* Reversing 0->1 emits CNOT 1->0, which one-way forbids. *)
+  let blocked, _ = fire_one ~device:one_way "cnot-reversal" reversal in
+  check_bool "reversal blocked on directed device" true (blocked = reversal);
+  let ok, _ = fire_one ~device:both "cnot-reversal" reversal in
+  check_int "reversal fires when legal" 1 (List.length ok);
+  let cz = [ Gate.H 1; Gate.Cz (0, 1); Gate.H 1 ] in
+  let backward = Device.make ~name:"backward" ~n_qubits:2 [ (1, 0) ] in
+  let blocked, _ = fire_one ~device:backward "h-cz-h-to-cnot" cz in
+  check_bool "CZ rewrite blocked on directed device" true (blocked = cz);
+  (* SWAP introduction is only for unmapped circuits. *)
+  let triple =
+    [ Gate.Cnot { control = 0; target = 1 };
+      Gate.Cnot { control = 1; target = 0 };
+      Gate.Cnot { control = 0; target = 1 } ]
+  in
+  let blocked, _ = fire_one ~device:both "cnot-triple-to-swap" triple in
+  check_bool "swap rewrite blocked once mapped" true (blocked = triple)
+
+(* --- engine pass: rotation merging --- *)
+
+let test_rotation_merge () =
+  let run gates = Rewrite.merge_rotations (circ gates) in
+  let c, n = run [ Gate.Rz (0.5, 0); Gate.Rz (0.25, 0) ] in
+  check_int "adjacent Rz folds" 1 (Circuit.gate_count c);
+  check_int "one gate eliminated" 1 n;
+  Testutil.assert_unitary_equal "fold exact"
+    (circ [ Gate.Rz (0.5, 0); Gate.Rz (0.25, 0) ]) c;
+  (* Rz slides through the CNOT control, Rx through the target. *)
+  let through_control =
+    [ Gate.Rz (0.5, 0); Gate.Cnot { control = 0; target = 1 };
+      Gate.Rz (0.25, 0) ]
+  in
+  let c, n = run through_control in
+  check_int "Rz through control" 2 (Circuit.gate_count c);
+  check_int "Rz through control eliminated" 1 n;
+  Testutil.assert_unitary_equal "control exact" (circ through_control) c;
+  let through_target =
+    [ Gate.Rx (0.5, 1); Gate.Cnot { control = 0; target = 1 };
+      Gate.Rx (0.25, 1) ]
+  in
+  let c, _ = run through_target in
+  check_int "Rx through target" 2 (Circuit.gate_count c);
+  Testutil.assert_unitary_equal "target exact" (circ through_target) c;
+  let through_y = [ Gate.Ry (0.2, 0); Gate.Y 0; Gate.Ry (0.3, 0) ] in
+  let c, _ = run through_y in
+  check_int "Ry through Y" 2 (Circuit.gate_count c);
+  Testutil.assert_unitary_equal "Ry exact" (circ through_y) c;
+  (* Deletion only at multiples of 4 pi: Rz(2 pi) = -I is NOT identity. *)
+  let c, n = run [ Gate.Rz (2.0 *. pi, 0); Gate.Rz (2.0 *. pi, 0) ] in
+  check_int "4 pi deleted" 0 (Circuit.gate_count c);
+  check_int "both gates eliminated" 2 n;
+  let two_pi = [ Gate.Rz (pi, 0); Gate.Rz (pi, 0) ] in
+  let c, _ = run two_pi in
+  check_int "2 pi kept (global phase matters)" 1 (Circuit.gate_count c);
+  Testutil.assert_unitary_equal "2 pi exact" (circ two_pi) c;
+  (* H ends the run. *)
+  let blocked = [ Gate.Rz (0.5, 0); Gate.H 0; Gate.Rz (0.25, 0) ] in
+  let c, n = run blocked in
+  check_int "H blocks" 0 n;
+  check_bool "blocked circuit untouched" true (Circuit.gates c = blocked);
+  (* Rz must NOT slide through the CNOT target. *)
+  let target_block =
+    [ Gate.Rz (0.5, 1); Gate.Cnot { control = 0; target = 1 };
+      Gate.Rz (0.25, 1) ]
+  in
+  let _, n = run target_block in
+  check_int "Rz blocked at target" 0 n
+
+(* --- engine pass: phase-polynomial merging --- *)
+
+let test_phase_merge () =
+  let run gates = Rewrite.merge_phase_polynomial (circ gates) in
+  (* The staq motivating example: both Ts act on the same parity term
+     once the CNOT pair restores the wire, so they fold into one S. *)
+  let ladder =
+    [ Gate.T 1; Gate.Cnot { control = 0; target = 1 };
+      Gate.Cnot { control = 0; target = 1 }; Gate.T 1 ]
+  in
+  let c, n = run ladder in
+  check_int "ladder merged" 3 (Circuit.gate_count c);
+  check_int "ladder eliminated one" 1 n;
+  check_int "T-count drops to zero" 0 (Circuit.t_count c);
+  Testutil.assert_unitary_equal "ladder exact" (circ ladder) c;
+  (* Rz through a complemented wire folds with negation — exactly. *)
+  let complemented =
+    [ Gate.Rz (0.5, 1); Gate.X 1; Gate.Rz (0.25, 1); Gate.X 1 ]
+  in
+  let c, n = run complemented in
+  check_int "complement merged" 3 (Circuit.gate_count c);
+  check_int "complement eliminated one" 1 n;
+  Testutil.assert_unitary_equal "complement exact" (circ complemented) c;
+  (* H destroys the parity: no merge across it. *)
+  let _, n = run [ Gate.T 1; Gate.H 1; Gate.T 1 ] in
+  check_int "H blocks phase merge" 0 n;
+  (* Different parity terms never merge. *)
+  let _, n =
+    run
+      [ Gate.Cnot { control = 0; target = 1 }; Gate.T 1;
+        Gate.Cnot { control = 0; target = 1 }; Gate.T 1 ]
+  in
+  check_int "distinct parities kept" 0 n;
+  (* A lone diagonal gate is re-emitted verbatim, not canonicalized:
+     Phase(pi/4) must stay Phase, not become T. *)
+  let lone = [ Gate.Phase (pi /. 4.0, 0) ] in
+  let c, _ = run lone in
+  check_bool "single hit re-emits original" true (Circuit.gates c = lone)
+
+(* --- engine pass: Clifford normalization --- *)
+
+let test_clifford_normalize () =
+  let run gates = Rewrite.normalize_cliffords (circ gates) in
+  let sandwich = [ Gate.H 0; Gate.S 0; Gate.S 0; Gate.H 0 ] in
+  let c, n = run sandwich in
+  check_bool "HSSH = X" true (Circuit.gates c = [ Gate.X 0 ]);
+  check_int "three eliminated" 3 n;
+  Testutil.assert_unitary_equal "HSSH exact" (circ sandwich) c;
+  (* Z X = iY: the phase is real, so the run must NOT become Y. *)
+  let phased = [ Gate.X 0; Gate.Z 0 ] in
+  let c, n = run phased in
+  check_int "iY kept as two gates" 0 n;
+  check_bool "iY untouched" true (Circuit.gates c = phased);
+  (* Other wires interleave freely. *)
+  let interleaved = [ Gate.H 0; Gate.X 1; Gate.X 0; Gate.H 0 ] in
+  let c, _ = run interleaved in
+  check_int "interleaved normalizes" 2 (Circuit.gate_count c);
+  Testutil.assert_unitary_equal "interleaved exact" (circ interleaved) c;
+  (* Identity runs vanish. *)
+  let c, n = run [ Gate.H 0; Gate.H 0 ] in
+  check_int "HH vanishes" 0 (Circuit.gate_count c);
+  check_int "HH eliminated" 2 n;
+  let c, _ = run [ Gate.S 0; Gate.S 0; Gate.S 0; Gate.S 0 ] in
+  check_int "SSSS vanishes" 0 (Circuit.gate_count c)
+
+(* --- metamorphic: rotation folding over every edge-angle pair --- *)
+
+let test_metamorphic_fold () =
+  let rotations =
+    [ (fun t q -> Gate.Rz (t, q)); (fun t q -> Gate.Rx (t, q));
+      (fun t q -> Gate.Ry (t, q)) ]
+  in
+  List.iter
+    (fun rot ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              let input = circ ~n:1 [ rot a 0; rot b 0 ] in
+              let folded, _ = Rewrite.merge_rotations input in
+              Testutil.assert_unitary_equal
+                (Printf.sprintf "fold %g + %g exact" a b)
+                input folded)
+            Fuzz.Gen.edge_angles)
+        Fuzz.Gen.edge_angles)
+    rotations
+
+(* --- the tier --- *)
+
+let test_apply_outcome () =
+  let inert = circ [ Gate.Cnot { control = 0; target = 1 } ] in
+  let out = Rewrite.apply inert in
+  check_bool "no-op: applied empty" true (out.Rewrite.applied = []);
+  check_bool "no-op: circuit untouched" true
+    (Circuit.gates out.Rewrite.circuit = Circuit.gates inert);
+  check_bool "no-op: unchecked by default" true (not out.Rewrite.checked);
+  let busy =
+    circ
+      [ Gate.H 0; Gate.X 0; Gate.H 0; Gate.Rz (0.5, 1); Gate.Rz (0.25, 1) ]
+  in
+  let out = Rewrite.apply ~check:true busy in
+  check_bool "checked" true (out.Rewrite.checked && out.Rewrite.ok);
+  check_bool "work reported" true (out.Rewrite.applied <> []);
+  Testutil.assert_unitary_equal "tier exact" busy out.Rewrite.circuit;
+  check_int "tier shrinks" 2 (Circuit.gate_count out.Rewrite.circuit);
+  let untouched = Rewrite.apply ~selection:Rewrite.empty_selection busy in
+  check_bool "empty selection is identity" true
+    (Circuit.gates untouched.Rewrite.circuit = Circuit.gates busy)
+
+let test_apply_trace () =
+  let trace = Trace.create () in
+  let busy = circ [ Gate.H 0; Gate.X 0; Gate.H 0 ] in
+  let _ = Rewrite.apply ~trace busy in
+  let totals = Trace.counter_totals trace in
+  check_bool "rewrite counters bumped" true
+    (List.exists
+       (fun (k, v) ->
+         String.length k > 8 && String.sub k 0 8 = "rewrite/" && v > 0.0)
+       totals)
+
+(* --- optimizer integration: pinned T-count deltas --- *)
+
+let stage_rules rules c = Optimize.optimize ~rules c
+
+let test_benchmark_deltas () =
+  (* Pinned deltas: the phase-polynomial pass is what moves the
+     T-count, so a silent regression there flips these exact numbers. *)
+  let adder = Decompose.to_native (Benchsuite.Classics.cuccaro_adder 3) in
+  let base = stage_rules Rewrite.empty_selection adder in
+  let opt = stage_rules Rewrite.default_selection adder in
+  check_int "adder T-count without tier" 38 (Circuit.t_count base);
+  check_int "adder T-count with tier" 24 (Circuit.t_count opt);
+  check_int "adder volume without tier" 101 (Circuit.gate_count base);
+  check_int "adder volume with tier" 88 (Circuit.gate_count opt);
+  check_bool "adder equivalent" true
+    (Qmdd.equivalent ~up_to_phase:false adder opt);
+  (* The native QFT is Rz-based (T-count 0 both ways); the tier still
+     buys gate volume through rotation merging. *)
+  let qft = Decompose.to_native (Benchsuite.Classics.qft 4) in
+  let base_q = stage_rules Rewrite.empty_selection qft in
+  let opt_q = stage_rules Rewrite.default_selection qft in
+  check_int "qft volume without tier" 31 (Circuit.gate_count base_q);
+  check_int "qft volume with tier" 28 (Circuit.gate_count opt_q);
+  check_bool "qft equivalent" true
+    (Qmdd.equivalent ~up_to_phase:false qft opt_q)
+
+(* --- README drift --- *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+(* Rows of the Optimization section's rule table:
+   | `name` | pattern | side condition | default |. *)
+let readme_rule_rows () =
+  let lines = read_lines "../README.md" in
+  let in_section = ref false in
+  List.filter_map
+    (fun line ->
+      if String.length line >= 2 && String.sub line 0 2 = "##" then (
+        in_section :=
+          String.trim line = "## Optimization";
+        None)
+      else if
+        !in_section && String.length line > 3
+        && String.sub line 0 3 = "| `"
+      then
+        match String.index_from_opt line 3 '`' with
+        | Some stop -> Some (line, String.sub line 3 (stop - 3))
+        | None -> None
+      else None)
+    lines
+
+let test_readme_table () =
+  let rows = readme_rule_rows () in
+  let row_names = List.map snd rows in
+  check_int "one row per template" (List.length template_names)
+    (List.length rows);
+  List.iter
+    (fun n ->
+      check_bool (n ^ " documented in README") true (List.mem n row_names))
+    template_names;
+  List.iter
+    (fun n ->
+      check_bool (n ^ " is a registered template") true (List.mem n template_names))
+    row_names;
+  (* Pattern and side-condition cells must match the registry verbatim. *)
+  List.iter
+    (fun (line, name) ->
+      match Rewrite.find_rule name with
+      | None -> Alcotest.failf "%s: not a rule" name
+      | Some r ->
+        let cells =
+          String.split_on_char '|' line |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        in
+        (match cells with
+        | [ _; pattern; guard; dflt ] ->
+          check_bool (name ^ " pattern in sync") true
+            (pattern = r.Rewrite.pattern_doc);
+          check_bool (name ^ " guard in sync") true
+            (guard = r.Rewrite.guard_doc);
+          check_bool (name ^ " default in sync") true
+            (dflt = if r.Rewrite.default_on then "yes" else "no")
+        | _ -> Alcotest.failf "%s: malformed table row" name))
+    rows;
+  (* Every engine pass is mentioned in the section too. *)
+  let lines = read_lines "../README.md" in
+  let section =
+    let in_section = ref false in
+    List.filter
+      (fun line ->
+        if String.length line >= 2 && String.sub line 0 2 = "##" then (
+          in_section := String.trim line = "## Optimization";
+          false)
+        else !in_section)
+      lines
+    |> String.concat "\n"
+  in
+  List.iter
+    (fun p ->
+      let needle = "`" ^ p ^ "`" in
+      let found =
+        let nl = String.length needle and sl = String.length section in
+        let rec scan i =
+          i + nl <= sl && (String.sub section i nl = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      check_bool (p ^ " described in README") true found)
+    Rewrite.engine_pass_names
+
+let () =
+  Alcotest.run "rewrite"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "completeness" `Quick test_registry_complete;
+          Alcotest.test_case "selection parsing" `Quick test_selection_parsing;
+        ] );
+      ( "templates",
+        [
+          Alcotest.test_case "fire" `Quick test_templates_fire;
+          Alcotest.test_case "near miss" `Quick test_templates_near_miss;
+          Alcotest.test_case "device guards" `Quick test_device_guards;
+        ] );
+      ( "engine passes",
+        [
+          Alcotest.test_case "rotation merge" `Quick test_rotation_merge;
+          Alcotest.test_case "phase merge" `Quick test_phase_merge;
+          Alcotest.test_case "clifford normalize" `Quick test_clifford_normalize;
+          Alcotest.test_case "metamorphic fold" `Quick test_metamorphic_fold;
+        ] );
+      ( "tier",
+        [
+          Alcotest.test_case "apply outcome" `Quick test_apply_outcome;
+          Alcotest.test_case "apply trace" `Quick test_apply_trace;
+          Alcotest.test_case "benchmark deltas" `Quick test_benchmark_deltas;
+        ] );
+      ( "docs",
+        [ Alcotest.test_case "README table" `Quick test_readme_table ] );
+    ]
